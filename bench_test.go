@@ -1,0 +1,334 @@
+// Benchmarks regenerating every table and figure of the paper, one
+// bench per artifact. They run on the reduced Quick configuration (24
+// users, 8 days) so `go test -bench=.` completes in minutes; pass the
+// full scale through cmd/privacyeval for paper-size runs. The shared
+// Lab is built once, so each bench measures its experiment's own
+// compute (trace regeneration and analysis), not world construction.
+package locwatch_test
+
+import (
+	"sync"
+	"testing"
+
+	"locwatch/internal/experiments"
+	"locwatch/internal/market"
+)
+
+var (
+	labOnce sync.Once
+	lab     *experiments.Lab
+	labErr  error
+
+	reportOnce sync.Once
+	mreport    *market.Report
+	reportErr  error
+)
+
+func sharedLab(b *testing.B) *experiments.Lab {
+	b.Helper()
+	labOnce.Do(func() {
+		l, err := experiments.NewLab(experiments.Quick())
+		if err != nil {
+			labErr = err
+			return
+		}
+		// Pre-build the caches shared by the figure benches so each
+		// bench measures only its own work.
+		if _, err := l.Profiles(); err != nil {
+			labErr = err
+			return
+		}
+		if _, err := l.HistoricalProfiles(); err != nil {
+			labErr = err
+			return
+		}
+		lab = l
+	})
+	if labErr != nil {
+		b.Fatal(labErr)
+	}
+	return lab
+}
+
+func sharedMarketReport(b *testing.B) *market.Report {
+	b.Helper()
+	reportOnce.Do(func() {
+		mreport, reportErr = experiments.MarketStudy(experiments.Quick())
+	})
+	if reportErr != nil {
+		b.Fatal(reportErr)
+	}
+	return mreport
+}
+
+// BenchmarkSectionIIICounts regenerates the §III headline statistics:
+// the full pipeline from market generation through manifest extraction,
+// the per-app device protocol, and aggregation.
+func BenchmarkSectionIIICounts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.MarketStudy(experiments.Quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Declaring != 1137 || r.Background != 102 {
+			b.Fatalf("section III counts drifted: %+v", r)
+		}
+	}
+}
+
+// BenchmarkTableI regenerates Table I (provider usage of the 102
+// background apps) from campaign observations.
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.MarketStudy(experiments.Quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.TableI["fine&coarse"]["gps"] != 32 {
+			b.Fatalf("Table I drifted: %+v", r.TableI)
+		}
+	}
+}
+
+// BenchmarkFigure1 regenerates the Figure 1 interval CDF.
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.MarketStudy(experiments.Quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cdf := r.IntervalECDF().At(10); cdf < 0.57 || cdf > 0.59 {
+			b.Fatalf("Figure 1 knee drifted: %v", cdf)
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates the Table III / Figure 2 parameter
+// sweep of the PoI extractor.
+func BenchmarkFigure2(b *testing.B) {
+	l := sharedLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure2(l)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Rows) != 6 || r.Rows[0].PoIs == 0 {
+			b.Fatalf("Figure 2 result degenerate: %+v", r.Rows)
+		}
+	}
+}
+
+// BenchmarkFigure3a regenerates the PoI_total frequency sweep.
+func BenchmarkFigure3a(b *testing.B) {
+	l := sharedLab(b)
+	rep := sharedMarketReport(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure3(l, rep)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Rows[0].PoIs == 0 || r.Rows[0].Fraction < 0.99 {
+			b.Fatalf("Figure 3(a) degenerate: %+v", r.Rows[0])
+		}
+	}
+}
+
+// BenchmarkFigure3b regenerates the PoI_sensitive frequency sweep
+// (same computation over the sensitive subsets).
+func BenchmarkFigure3b(b *testing.B) {
+	l := sharedLab(b)
+	rep := sharedMarketReport(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure3(l, rep)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Rows[0].SensitiveTotal[2] == 0 {
+			b.Fatalf("Figure 3(b) degenerate: %+v", r.Rows[0])
+		}
+	}
+}
+
+// BenchmarkFigure4a regenerates the detection-speed CDF from the trace
+// start (native rate, both patterns).
+func BenchmarkFigure4a(b *testing.B) {
+	l := sharedLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure4(l)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.FromStart) == 0 {
+			b.Fatal("Figure 4(a) empty")
+		}
+	}
+}
+
+// BenchmarkFigure4b covers the random-start variant (computed by the
+// same driver; asserted separately).
+func BenchmarkFigure4b(b *testing.B) {
+	l := sharedLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure4(l)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.RandomStart) == 0 {
+			b.Fatal("Figure 4(b) empty")
+		}
+	}
+}
+
+// BenchmarkFigure4c regenerates the detection-count interval sweep.
+func BenchmarkFigure4c(b *testing.B) {
+	l := sharedLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure4(l)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Sweep) == 0 || r.Sweep[0].Detected == nil {
+			b.Fatal("Figure 4(c) empty")
+		}
+	}
+}
+
+// BenchmarkFigure4d regenerates the faster-pattern comparison.
+func BenchmarkFigure4d(b *testing.B) {
+	l := sharedLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure4(l)
+		if err != nil {
+			b.Fatal(err)
+		}
+		row := r.Sweep[0]
+		if row.P2Faster+row.P1Faster+row.BothEqual == 0 {
+			b.Fatal("Figure 4(d) empty")
+		}
+	}
+}
+
+// BenchmarkFigure5 regenerates the entropy / degree-of-anonymity
+// comparison with the historical-profile adversary.
+func BenchmarkFigure5(b *testing.B) {
+	l := sharedLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure5(l)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Profiles == 0 || len(r.Rows) == 0 {
+			b.Fatal("Figure 5 empty")
+		}
+	}
+}
+
+// BenchmarkCombinedDetector measures the paper's concluding
+// recommendation: alert on whichever pattern fires first.
+func BenchmarkCombinedDetector(b *testing.B) {
+	l := sharedLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Combined(l)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Rows[0].DetectedCombined == 0 {
+			b.Fatal("combined detector fired for nobody")
+		}
+	}
+}
+
+// BenchmarkAblationExtractor compares the buffer extractor against the
+// stay-point baseline.
+func BenchmarkAblationExtractor(b *testing.B) {
+	l := sharedLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationExtractor(l)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Rows[0].Buffer == 0 {
+			b.Fatal("extractor ablation degenerate")
+		}
+	}
+}
+
+// BenchmarkAblationMitigation measures the defense suite.
+func BenchmarkAblationMitigation(b *testing.B) {
+	l := sharedLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationMitigation(l)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Rows) == 0 {
+			b.Fatal("mitigation ablation empty")
+		}
+	}
+}
+
+// BenchmarkAblationWeighting compares the adversary's posterior
+// weightings (Formula 2 literal vs p-value).
+func BenchmarkAblationWeighting(b *testing.B) {
+	l := sharedLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationWeighting(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationCloaking measures the k-anonymity trusted-server
+// baseline over the aligned population.
+func BenchmarkAblationCloaking(b *testing.B) {
+	l := sharedLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationCloaking(l)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Rows) != 3 {
+			b.Fatal("cloaking ablation degenerate")
+		}
+	}
+}
+
+// BenchmarkAblationTracking measures the Hoh-style time-to-confusion
+// comparison across release policies.
+func BenchmarkAblationTracking(b *testing.B) {
+	l := sharedLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationTracking(l)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Rows) != 4 {
+			b.Fatal("tracking ablation degenerate")
+		}
+	}
+}
+
+// BenchmarkAblationTail compares the chi-square tail conventions.
+func BenchmarkAblationTail(b *testing.B) {
+	l := sharedLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationTail(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

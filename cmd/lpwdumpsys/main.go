@@ -1,0 +1,121 @@
+// Command lpwdumpsys demonstrates the simulated Android location stack:
+// it installs a handful of apps with different behaviours on a device
+// whose owner commutes across town, runs the day, and prints the
+// dumpsys report at each phase — the exact observable the paper's
+// market study is built on.
+//
+// Usage:
+//
+//	lpwdumpsys [-advance 30m]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"locwatch/internal/android"
+	"locwatch/internal/geo"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lpwdumpsys: ")
+
+	advance := flag.Duration("advance", 30*time.Minute, "simulated time per phase")
+	flag.Parse()
+
+	home := geo.LatLon{Lat: 39.9042, Lon: 116.4074}
+	work := geo.Destination(home, 60, 5000)
+	start := time.Date(2026, 7, 6, 8, 0, 0, 0, time.UTC)
+
+	dev := android.NewDevice(start, home)
+	// The owner commutes between 8:30 and 9:00.
+	dev.SetMovement(func(t time.Time) geo.LatLon {
+		depart := start.Add(30 * time.Minute)
+		arrive := start.Add(60 * time.Minute)
+		switch {
+		case t.Before(depart):
+			return home
+		case t.After(arrive):
+			return work
+		default:
+			f := float64(t.Sub(depart)) / float64(arrive.Sub(depart))
+			return geo.Interpolate(home, work, f)
+		}
+	})
+
+	apps := []android.AppSpec{
+		{
+			Package: "com.example.navigator", Category: "MAPS_AND_NAVIGATION",
+			Permissions: []android.Permission{android.PermFine, android.PermCoarse},
+			Behavior: android.Behavior{
+				UsesLocation: true, AutoRequest: true,
+				Providers: []android.Provider{android.GPS},
+				Interval:  time.Second, Background: false,
+			},
+		},
+		{
+			Package: "com.example.weather", Category: "WEATHER",
+			Permissions: []android.Permission{android.PermCoarse},
+			Behavior: android.Behavior{
+				UsesLocation: true, AutoRequest: true,
+				Providers: []android.Provider{android.Network},
+				Interval:  10 * time.Minute, Background: true,
+			},
+		},
+		{
+			Package: "com.example.stalker", Category: "LIFESTYLE",
+			Permissions: []android.Permission{android.PermFine, android.PermCoarse},
+			Behavior: android.Behavior{
+				UsesLocation: true, AutoRequest: true,
+				Providers: []android.Provider{android.GPS, android.Passive},
+				Interval:  5 * time.Second, Background: true,
+			},
+		},
+		{
+			Package: "com.example.flashlight", Category: "TOOLS",
+			Permissions: []android.Permission{android.PermFine},
+			Behavior:    android.Behavior{}, // over-privileged: declares, never uses
+		},
+	}
+	for _, spec := range apps {
+		if _, err := dev.Install(spec); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	phase := func(title string) {
+		dev.Advance(*advance)
+		fmt.Printf("--- %s (clock %s, location indicator lit: %v) ---\n%s\n",
+			title, dev.Now().Format("15:04:05"), dev.NotificationVisible(), dev.Dumpsys())
+	}
+
+	for _, pkg := range dev.Packages() {
+		if err := dev.Launch(pkg); err != nil {
+			log.Fatal(err)
+		}
+		// Use each app briefly before switching to the next one.
+		dev.Advance(2 * time.Minute)
+	}
+	phase("all apps launched (last one foreground)")
+
+	dev.Home()
+	phase("home pressed: who keeps listening in background?")
+
+	if err := dev.Close("com.example.stalker"); err != nil {
+		log.Fatal(err)
+	}
+	phase("stalker force-stopped")
+
+	for _, pkg := range dev.Packages() {
+		app, err := dev.App(pkg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bg := app.BackgroundFixes()
+		fmt.Printf("%-28s state=%-10s fixes=%-5d background=%d\n",
+			pkg, app.State(), len(app.Fixes()), len(bg))
+	}
+}

@@ -1,0 +1,126 @@
+// Command poiextract extracts Points of Interest from a GeoLife-layout
+// dataset (real or produced by tracegen): per user it prints the
+// canonical places with visit counts and dwell, flags the sensitive
+// ones, and summarizes the movement patterns.
+//
+// Usage:
+//
+//	poiextract -data DIR [-radius 50] [-visit 10m] [-merge 75]
+//	           [-sensitive 3] [-top 10]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"sort"
+	"time"
+
+	"locwatch/internal/geo"
+	"locwatch/internal/poi"
+	"locwatch/internal/trace/plt"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("poiextract: ")
+
+	data := flag.String("data", "", "GeoLife-layout dataset root (required)")
+	radius := flag.Float64("radius", 50, "PoI radius threshold in meters")
+	visit := flag.Duration("visit", 10*time.Minute, "minimum visiting time")
+	merge := flag.Float64("merge", 75, "place merge radius in meters")
+	sensitive := flag.Int("sensitive", 3, "max visits for a place to be sensitive")
+	top := flag.Int("top", 10, "places to print per user")
+	flag.Parse()
+
+	if *data == "" {
+		log.Fatal("-data is required")
+	}
+	users, err := plt.ScanDataset(*data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(users) == 0 {
+		log.Fatalf("no users found under %s", *data)
+	}
+	params := poi.Params{Radius: *radius, MinVisit: *visit}
+
+	for _, u := range users {
+		src := plt.NewUserSource(u)
+		// Anchor the canonicalizer at the user's first fix.
+		first, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			continue
+		}
+		if err != nil {
+			log.Fatalf("user %s: %v", u.ID, err)
+		}
+		canon, err := poi.NewCanonicalizer(first.Pos, *merge)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ex, err := poi.NewExtractor(params, func(s poi.StayPoint) { canon.Observe(s) })
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := ex.Feed(first); err != nil {
+			log.Fatalf("user %s: %v", u.ID, err)
+		}
+		points := 1
+		for {
+			p, err := src.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				log.Fatalf("user %s: %v", u.ID, err)
+			}
+			if err := ex.Feed(p); err != nil {
+				log.Fatalf("user %s: %v", u.ID, err)
+			}
+			points++
+		}
+		ex.Flush()
+
+		fmt.Printf("user %s: %d fixes, %d visits, %d places (%d sensitive at ≤%d visits)\n",
+			u.ID, points, len(canon.Visits()), canon.NumPlaces(),
+			len(canon.SensitivePlaces(*sensitive)), *sensitive)
+		for _, pl := range canon.TopPlaces(*top) {
+			tag := ""
+			if pl.Visits <= *sensitive {
+				tag = "  [sensitive]"
+			}
+			fmt.Printf("  place %3d at %s: %3d visits, %8s dwell%s\n",
+				pl.ID, pl.Pos, pl.Visits, pl.Dwell.Round(time.Minute), tag)
+		}
+		printTransitions(canon, *top)
+	}
+}
+
+func printTransitions(canon *poi.Canonicalizer, top int) {
+	type edge struct {
+		key   [2]int
+		count int
+	}
+	var edges []edge
+	for k, v := range canon.Transitions(12 * time.Hour) {
+		edges = append(edges, edge{k, v})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].count != edges[j].count {
+			return edges[i].count > edges[j].count
+		}
+		return edges[i].key[0] < edges[j].key[0]
+	})
+	if len(edges) > top {
+		edges = edges[:top]
+	}
+	for _, e := range edges {
+		from, _ := canon.Place(e.key[0])
+		to, _ := canon.Place(e.key[1])
+		fmt.Printf("  move %3d→%-3d ×%-3d (%.0f m apart)\n",
+			e.key[0], e.key[1], e.count, geo.Distance(from.Pos, to.Pos))
+	}
+}

@@ -1,0 +1,68 @@
+package locwatch_test
+
+import (
+	"fmt"
+	"time"
+
+	"locwatch"
+)
+
+// ExampleBuildProfile shows the core loop: simulate a user, build
+// their ground-truth profile, and check what a background app's
+// 60-second collection reveals.
+func ExampleBuildProfile() {
+	cfg := locwatch.DefaultMobilityConfig()
+	cfg.Users = 1
+	cfg.Days = 5
+	cfg.FracTripsOnly = 0
+	cfg.FracSparse = 0
+	world, err := locwatch.NewWorld(cfg)
+	if err != nil {
+		panic(err)
+	}
+
+	full, err := world.Trace(0, 0)
+	if err != nil {
+		panic(err)
+	}
+	profile, err := locwatch.BuildProfile(full, cfg.CityCenter, locwatch.DefaultParams())
+	if err != nil {
+		panic(err)
+	}
+
+	collected, err := world.Trace(0, time.Minute)
+	if err != nil {
+		panic(err)
+	}
+	observed, err := locwatch.BuildProfile(collected, cfg.CityCenter, locwatch.DefaultParams())
+	if err != nil {
+		panic(err)
+	}
+
+	total, discovered := profile.Coverage(observed)
+	bin, err := profile.HisBin(observed, locwatch.PatternMovement)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("places discovered: %d/%d, His_bin: %d\n", discovered, total, bin)
+	// Output: places discovered: 8/8, His_bin: 1
+}
+
+// ExampleSampler shows how an access interval thins a stream.
+func ExampleSampler() {
+	base := time.Date(2026, 7, 6, 8, 0, 0, 0, time.UTC)
+	pts := make([]locwatch.Point, 120)
+	for i := range pts {
+		pts[i] = locwatch.Point{
+			Pos: locwatch.LatLon{Lat: 39.9, Lon: 116.4},
+			T:   base.Add(time.Duration(i) * time.Second),
+		}
+	}
+	sampled := locwatch.NewSampler(locwatch.NewSliceSource(pts), 30*time.Second, 0)
+	tr, err := locwatch.Collect(sampled, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(tr.Len())
+	// Output: 4
+}

@@ -1,0 +1,94 @@
+// Quickstart: build a user profile from a location trace, watch an app
+// collect that user's location in background, and see the His_bin
+// detector flag the privacy breach.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"time"
+
+	"locwatch"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A small synthetic city: 6 users, one week.
+	cfg := locwatch.DefaultMobilityConfig()
+	cfg.Users = 6
+	cfg.Days = 7
+	cfg.FracTripsOnly = 0 // keep the demo users continuous recorders
+	cfg.FracSparse = 0
+	world, err := locwatch.NewWorld(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ground truth: the user's full native-rate trace distilled into a
+	// profile — places, visit counts, movement patterns.
+	src, err := world.Trace(0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile, err := locwatch.BuildProfile(src, cfg.CityCenter, locwatch.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profile: %d fixes → %d visits at %d places\n",
+		profile.NumPoints(), profile.NumVisits(), profile.NumPlaces())
+	for _, place := range profile.Places() {
+		tag := ""
+		if place.Visits <= 3 {
+			tag = "  [sensitive]"
+		}
+		fmt.Printf("  place %2d at %s — %d visits, %s dwell%s\n",
+			place.ID, place.Pos, place.Visits, place.Dwell.Round(time.Minute), tag)
+	}
+
+	// An app accessing location in background every 30 seconds: how
+	// much of the user's data does it need before the collection
+	// reveals the user's movement profile?
+	detector, err := locwatch.NewDetector(profile, locwatch.PatternMovement)
+	if err != nil {
+		log.Fatal(err)
+	}
+	collected, err := world.Trace(0, 30*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lastVisits := 0
+	for {
+		p, err := collected.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := detector.Feed(p); err != nil {
+			log.Fatal(err)
+		}
+		if v := detector.Observed().NumVisits(); v == lastVisits {
+			continue
+		}
+		lastVisits = detector.Observed().NumVisits()
+		det, err := detector.Check()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if det.Breached {
+			fmt.Printf("\nBREACH: after %d collected fixes (%d observed visits),\n"+
+				"the app's data matches the user's movement profile "+
+				"(chi²=%.2f, df=%d, p=%.3f).\n",
+				det.PointsFed, det.VisitsSeen,
+				det.Result.Statistic, det.Result.DF, det.Result.PValue)
+			return
+		}
+	}
+	fmt.Println("\nno breach detected — the collection stayed below the profile threshold")
+}

@@ -1,0 +1,3 @@
+module locwatch
+
+go 1.22

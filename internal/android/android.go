@@ -1,0 +1,169 @@
+// Package android simulates the slice of the Android location stack the
+// paper's market study observes: location providers (gps, network,
+// passive, fused), the permission model (ACCESS_FINE_LOCATION /
+// ACCESS_COARSE_LOCATION), app lifecycle (foreground, background,
+// stopped), listener registration with a minTime interval, the status
+// bar location notification, and a `dumpsys location`-style diagnostic
+// report with a parser.
+//
+// The simulation implements the observable contract the study relies
+// on — which app holds which listener on which provider at which
+// interval, in which lifecycle state — not the full platform.
+package android
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Provider is an Android location provider.
+type Provider int
+
+// The four providers the paper's Table I observes.
+const (
+	GPS Provider = iota
+	Network
+	Passive
+	Fused
+)
+
+// providerNames is indexed by Provider.
+var providerNames = [...]string{"gps", "network", "passive", "fused"}
+
+// String implements fmt.Stringer.
+func (p Provider) String() string {
+	if p < 0 || int(p) >= len(providerNames) {
+		return fmt.Sprintf("Provider(%d)", int(p))
+	}
+	return providerNames[p]
+}
+
+// ParseProvider inverts String.
+func ParseProvider(s string) (Provider, error) {
+	for i, n := range providerNames {
+		if n == s {
+			return Provider(i), nil
+		}
+	}
+	return 0, fmt.Errorf("android: unknown provider %q", s)
+}
+
+// Permission is an Android location permission.
+type Permission int
+
+// Location permissions.
+const (
+	PermFine Permission = iota
+	PermCoarse
+)
+
+// String implements fmt.Stringer.
+func (p Permission) String() string {
+	switch p {
+	case PermFine:
+		return "android.permission.ACCESS_FINE_LOCATION"
+	case PermCoarse:
+		return "android.permission.ACCESS_COARSE_LOCATION"
+	default:
+		return fmt.Sprintf("Permission(%d)", int(p))
+	}
+}
+
+// ErrPermissionDenied is returned when an app registers for a provider
+// its declared permissions do not allow.
+var ErrPermissionDenied = errors.New("android: permission denied")
+
+// ErrNotInstalled is returned for operations on unknown packages.
+var ErrNotInstalled = errors.New("android: package not installed")
+
+// AppState is an app's lifecycle state.
+type AppState int
+
+// Lifecycle states.
+const (
+	StateStopped AppState = iota
+	StateForeground
+	StateBackground
+)
+
+// String implements fmt.Stringer.
+func (s AppState) String() string {
+	switch s {
+	case StateStopped:
+		return "stopped"
+	case StateForeground:
+		return "foreground"
+	case StateBackground:
+		return "background"
+	default:
+		return fmt.Sprintf("AppState(%d)", int(s))
+	}
+}
+
+// Behavior describes what an app actually does with location — the
+// ground truth the measurement campaign tries to observe from outside.
+type Behavior struct {
+	// UsesLocation reports whether the app ever requests location.
+	// Apps that declare permissions but never request are the
+	// over-privileged population of Felt et al.
+	UsesLocation bool
+	// AutoRequest makes the app register its listeners right at launch;
+	// otherwise a user interaction (Trigger) is needed.
+	AutoRequest bool
+	// Providers the app registers listeners on.
+	Providers []Provider
+	// Interval is the listener minTime — how often the app asks for
+	// updates.
+	Interval time.Duration
+	// Background keeps the listeners registered when the app leaves the
+	// foreground — the paper's central subject.
+	Background bool
+	// PreferCoarse makes the app request coarse fixes even when it
+	// holds the fine permission (the paper observes 28 such apps).
+	PreferCoarse bool
+}
+
+// AppSpec is an installable app: its manifest-level identity and
+// declared permissions plus its runtime behavior.
+type AppSpec struct {
+	Package     string
+	Category    string
+	Permissions []Permission
+	Behavior    Behavior
+}
+
+// DeclaresFine reports whether the manifest declares ACCESS_FINE_LOCATION.
+func (s AppSpec) DeclaresFine() bool { return s.hasPerm(PermFine) }
+
+// DeclaresCoarse reports whether the manifest declares ACCESS_COARSE_LOCATION.
+func (s AppSpec) DeclaresCoarse() bool { return s.hasPerm(PermCoarse) }
+
+// DeclaresLocation reports whether the manifest declares any location
+// permission.
+func (s AppSpec) DeclaresLocation() bool { return len(s.Permissions) > 0 }
+
+func (s AppSpec) hasPerm(p Permission) bool {
+	for _, q := range s.Permissions {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// allowed reports whether the declared permissions admit the provider.
+func (s AppSpec) allowed(p Provider) bool {
+	switch p {
+	case GPS:
+		return s.DeclaresFine()
+	case Network:
+		return s.DeclaresFine() || s.DeclaresCoarse()
+	case Passive:
+		return s.DeclaresLocation()
+	case Fused:
+		return s.DeclaresLocation()
+	default:
+		return false
+	}
+}

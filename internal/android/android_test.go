@@ -1,0 +1,410 @@
+package android
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"locwatch/internal/geo"
+)
+
+var (
+	devStart = time.Date(2026, 7, 1, 9, 0, 0, 0, time.UTC)
+	devPos   = geo.LatLon{Lat: 39.9042, Lon: 116.4074}
+)
+
+func fineSpec(pkg string, iv time.Duration, bg bool) AppSpec {
+	return AppSpec{
+		Package:     pkg,
+		Category:    "TOOLS",
+		Permissions: []Permission{PermFine, PermCoarse},
+		Behavior: Behavior{
+			UsesLocation: true,
+			AutoRequest:  true,
+			Providers:    []Provider{GPS},
+			Interval:     iv,
+			Background:   bg,
+		},
+	}
+}
+
+func TestProviderStrings(t *testing.T) {
+	for _, p := range []Provider{GPS, Network, Passive, Fused} {
+		got, err := ParseProvider(p.String())
+		if err != nil || got != p {
+			t.Fatalf("ParseProvider(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParseProvider("bogus"); err == nil {
+		t.Fatal("bogus provider parsed")
+	}
+	if Provider(99).String() == "" {
+		t.Fatal("unknown provider String empty")
+	}
+	if !strings.Contains(PermFine.String(), "FINE") || !strings.Contains(PermCoarse.String(), "COARSE") {
+		t.Fatal("permission strings wrong")
+	}
+}
+
+func TestSpecPermissionPredicates(t *testing.T) {
+	s := AppSpec{Permissions: []Permission{PermCoarse}}
+	if s.DeclaresFine() || !s.DeclaresCoarse() || !s.DeclaresLocation() {
+		t.Fatal("coarse-only predicates wrong")
+	}
+	if s.allowed(GPS) {
+		t.Fatal("coarse-only app allowed GPS")
+	}
+	if !s.allowed(Network) || !s.allowed(Passive) || !s.allowed(Fused) {
+		t.Fatal("coarse-only app should reach network/passive/fused")
+	}
+	none := AppSpec{}
+	if none.DeclaresLocation() || none.allowed(Passive) {
+		t.Fatal("permissionless app predicates wrong")
+	}
+}
+
+func TestInstallAndLifecycle(t *testing.T) {
+	d := NewDevice(devStart, devPos)
+	if _, err := d.Install(AppSpec{}); err == nil {
+		t.Fatal("empty package installed")
+	}
+	app, err := d.Install(fineSpec("com.example.map", 10*time.Second, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Install(fineSpec("com.example.map", time.Second, false)); err == nil {
+		t.Fatal("duplicate install accepted")
+	}
+	if app.State() != StateStopped {
+		t.Fatalf("state after install = %v", app.State())
+	}
+	if err := d.Launch("com.example.map"); err != nil {
+		t.Fatal(err)
+	}
+	if app.State() != StateForeground {
+		t.Fatalf("state after launch = %v", app.State())
+	}
+	d.Home()
+	if app.State() != StateBackground {
+		t.Fatalf("state after home = %v", app.State())
+	}
+	if err := d.Close("com.example.map"); err != nil {
+		t.Fatal(err)
+	}
+	if app.State() != StateStopped {
+		t.Fatalf("state after close = %v", app.State())
+	}
+	if err := d.Launch("com.missing"); !errors.Is(err, ErrNotInstalled) {
+		t.Fatalf("launching missing app: %v", err)
+	}
+}
+
+func TestForegroundDeliveries(t *testing.T) {
+	d := NewDevice(devStart, devPos)
+	app, _ := d.Install(fineSpec("com.fg", 10*time.Second, false))
+	if err := d.Launch("com.fg"); err != nil {
+		t.Fatal(err)
+	}
+	d.Advance(60 * time.Second)
+	fixes := app.Fixes()
+	if len(fixes) != 7 { // t=0,10,...,60
+		t.Fatalf("got %d fixes, want 7", len(fixes))
+	}
+	for _, f := range fixes {
+		if f.Background {
+			t.Fatal("foreground fix flagged background")
+		}
+		if f.Provider != GPS || f.Coarse {
+			t.Fatalf("unexpected fix %+v", f)
+		}
+		if geo.Distance(f.Point.Pos, devPos) > 1 {
+			t.Fatal("fine fix displaced")
+		}
+	}
+}
+
+func TestBackgroundAppKeepsCollecting(t *testing.T) {
+	d := NewDevice(devStart, devPos)
+	app, _ := d.Install(fineSpec("com.tracker", 30*time.Second, true))
+	if err := d.Launch("com.tracker"); err != nil {
+		t.Fatal(err)
+	}
+	d.Advance(time.Minute)
+	d.Home()
+	d.Advance(10 * time.Minute)
+	bg := app.BackgroundFixes()
+	if len(bg) < 18 {
+		t.Fatalf("background app collected only %d background fixes", len(bg))
+	}
+}
+
+func TestNonBackgroundAppStopsOnHome(t *testing.T) {
+	d := NewDevice(devStart, devPos)
+	app, _ := d.Install(fineSpec("com.polite", 10*time.Second, false))
+	if err := d.Launch("com.polite"); err != nil {
+		t.Fatal(err)
+	}
+	d.Advance(time.Minute)
+	before := len(app.Fixes())
+	d.Home()
+	d.Advance(10 * time.Minute)
+	if got := len(app.Fixes()); got != before {
+		t.Fatalf("app without background behavior received %d fixes after home", got-before)
+	}
+	if len(app.BackgroundFixes()) != 0 {
+		t.Fatal("background fixes recorded for a foreground-only app")
+	}
+}
+
+func TestTriggerRequiredForNonAutoApps(t *testing.T) {
+	spec := fineSpec("com.ondemand", 5*time.Second, false)
+	spec.Behavior.AutoRequest = false
+	d := NewDevice(devStart, devPos)
+	app, _ := d.Install(spec)
+	if err := d.Launch("com.ondemand"); err != nil {
+		t.Fatal(err)
+	}
+	d.Advance(time.Minute)
+	if len(app.Fixes()) != 0 {
+		t.Fatal("non-auto app received fixes without a trigger")
+	}
+	if err := d.Trigger("com.ondemand"); err != nil {
+		t.Fatal(err)
+	}
+	d.Advance(time.Minute)
+	if len(app.Fixes()) == 0 {
+		t.Fatal("trigger did not start location updates")
+	}
+	// Triggering twice must not duplicate listeners.
+	if err := d.Trigger("com.ondemand"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ParseDumpsys(d.Dumpsys())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(rep.ListenersOf("com.ondemand")); n != 1 {
+		t.Fatalf("%d listeners after double trigger", n)
+	}
+}
+
+func TestPermissionEnforcement(t *testing.T) {
+	// A coarse-only app asking for GPS gets nothing.
+	spec := AppSpec{
+		Package:     "com.sneaky",
+		Permissions: []Permission{PermCoarse},
+		Behavior: Behavior{
+			UsesLocation: true, AutoRequest: true,
+			Providers: []Provider{GPS}, Interval: time.Second,
+		},
+	}
+	d := NewDevice(devStart, devPos)
+	app, _ := d.Install(spec)
+	if err := d.Launch("com.sneaky"); err != nil {
+		t.Fatal(err)
+	}
+	d.Advance(time.Minute)
+	if len(app.Fixes()) != 0 {
+		t.Fatal("coarse-only app received GPS fixes")
+	}
+}
+
+func TestCoarseTruncation(t *testing.T) {
+	spec := AppSpec{
+		Package:     "com.weather",
+		Permissions: []Permission{PermCoarse},
+		Behavior: Behavior{
+			UsesLocation: true, AutoRequest: true,
+			Providers: []Provider{Network}, Interval: 30 * time.Second,
+		},
+	}
+	d := NewDevice(devStart, devPos)
+	app, _ := d.Install(spec)
+	if err := d.Launch("com.weather"); err != nil {
+		t.Fatal(err)
+	}
+	d.Advance(time.Minute)
+	fixes := app.Fixes()
+	if len(fixes) == 0 {
+		t.Fatal("no fixes")
+	}
+	for _, f := range fixes {
+		if !f.Coarse {
+			t.Fatal("network fix not coarse")
+		}
+		want := geo.Truncate(devPos, 2)
+		if f.Point.Pos != want {
+			t.Fatalf("coarse fix %v, want truncated %v", f.Point.Pos, want)
+		}
+	}
+}
+
+func TestPreferCoarseDespiteFine(t *testing.T) {
+	// The paper's 28 apps: fine permission declared, coarse data used.
+	spec := fineSpec("com.cheap", 10*time.Second, false)
+	spec.Behavior.PreferCoarse = true
+	d := NewDevice(devStart, devPos)
+	app, _ := d.Install(spec)
+	if err := d.Launch("com.cheap"); err != nil {
+		t.Fatal(err)
+	}
+	d.Advance(30 * time.Second)
+	for _, f := range app.Fixes() {
+		if !f.Coarse {
+			t.Fatal("PreferCoarse app received precise fix")
+		}
+	}
+}
+
+func TestPassiveProviderPiggybacks(t *testing.T) {
+	d := NewDevice(devStart, devPos)
+	active, _ := d.Install(fineSpec("com.active", 10*time.Second, true))
+	passiveSpec := AppSpec{
+		Package:     "com.lurker",
+		Permissions: []Permission{PermFine, PermCoarse},
+		Behavior: Behavior{
+			UsesLocation: true, AutoRequest: true,
+			Providers: []Provider{Passive}, Interval: 10 * time.Second,
+			Background: true,
+		},
+	}
+	lurker, _ := d.Install(passiveSpec)
+
+	// Lurker alone: passive never fires without an active requester.
+	if err := d.Launch("com.lurker"); err != nil {
+		t.Fatal(err)
+	}
+	d.Advance(time.Minute)
+	if len(lurker.Fixes()) != 0 {
+		t.Fatal("passive listener fired with no active provider")
+	}
+
+	// Active app starts: the lurker now rides along in background.
+	if err := d.Launch("com.active"); err != nil {
+		t.Fatal(err)
+	}
+	d.Advance(time.Minute)
+	if len(active.Fixes()) == 0 {
+		t.Fatal("active app got nothing")
+	}
+	got := len(lurker.Fixes())
+	if got == 0 {
+		t.Fatal("passive listener never piggybacked")
+	}
+	for _, f := range lurker.Fixes() {
+		if f.Provider != Passive || !f.Background {
+			t.Fatalf("unexpected lurker fix %+v", f)
+		}
+	}
+}
+
+func TestNotificationIndicator(t *testing.T) {
+	d := NewDevice(devStart, devPos)
+	if d.NotificationVisible() {
+		t.Fatal("indicator lit before any delivery")
+	}
+	d.Install(fineSpec("com.app", time.Second, false))
+	if err := d.Launch("com.app"); err != nil {
+		t.Fatal(err)
+	}
+	d.Advance(5 * time.Second)
+	if !d.NotificationVisible() {
+		t.Fatal("indicator not lit during active requests")
+	}
+	if err := d.Close("com.app"); err != nil {
+		t.Fatal(err)
+	}
+	d.Advance(time.Minute)
+	if d.NotificationVisible() {
+		t.Fatal("indicator still lit a minute after the last delivery")
+	}
+}
+
+func TestDumpsysRoundTrip(t *testing.T) {
+	d := NewDevice(devStart, devPos)
+	d.Install(fineSpec("com.b", 10*time.Second, true))
+	d.Install(fineSpec("com.a", 60*time.Second, true))
+	if err := d.Launch("com.b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Launch("com.a"); err != nil {
+		t.Fatal(err)
+	}
+	d.Home()
+	d.Advance(5 * time.Minute)
+
+	out := d.Dumpsys()
+	rep, err := ParseDumpsys(out)
+	if err != nil {
+		t.Fatalf("parse error: %v\n%s", err, out)
+	}
+	if len(rep.Listeners) != 2 {
+		t.Fatalf("parsed %d listeners, want 2:\n%s", len(rep.Listeners), out)
+	}
+	// Sorted by package.
+	if rep.Listeners[0].Package != "com.a" || rep.Listeners[1].Package != "com.b" {
+		t.Fatalf("listener order: %+v", rep.Listeners)
+	}
+	a := rep.Listeners[0]
+	if a.Provider != GPS || a.MinTime != 60*time.Second || a.State != StateBackground {
+		t.Fatalf("parsed listener %+v", a)
+	}
+	if a.Deliveries == 0 || a.BackgroundHits == 0 {
+		t.Fatalf("delivery counters not parsed: %+v", a)
+	}
+	if !strings.Contains(out, "Last Known Locations") {
+		t.Fatal("dumpsys missing last-known section")
+	}
+}
+
+func TestParseDumpsysMalformed(t *testing.T) {
+	if _, err := ParseDumpsys("  Receiver[pkg=x provider=warp"); err != nil {
+		t.Fatal("lines without the closing bracket should be ignored, not error")
+	}
+	if _, err := ParseDumpsys("Receiver[pkg=x provider=warp]"); err == nil {
+		t.Fatal("unknown provider accepted")
+	}
+	if _, err := ParseDumpsys("Receiver[provider=gps]"); err == nil {
+		t.Fatal("missing pkg accepted")
+	}
+	if _, err := ParseDumpsys("Receiver[pkg=x minTime=banana]"); err == nil {
+		t.Fatal("bad duration accepted")
+	}
+	if _, err := ParseDumpsys("Receiver[pkg=x junk]"); err == nil {
+		t.Fatal("field without = accepted")
+	}
+	rep, err := ParseDumpsys("random noise\nmore noise\n")
+	if err != nil || len(rep.Listeners) != 0 {
+		t.Fatal("noise should parse to empty report")
+	}
+}
+
+func TestAppStateString(t *testing.T) {
+	if StateStopped.String() != "stopped" || StateForeground.String() != "foreground" ||
+		StateBackground.String() != "background" || AppState(9).String() == "" {
+		t.Fatal("AppState strings wrong")
+	}
+}
+
+func TestMovementModel(t *testing.T) {
+	d := NewDevice(devStart, devPos)
+	d.SetMovement(func(t time.Time) geo.LatLon {
+		// Walk east at 1 m/s.
+		return geo.Destination(devPos, 90, t.Sub(devStart).Seconds())
+	})
+	app, _ := d.Install(fineSpec("com.walker", 10*time.Second, true))
+	if err := d.Launch("com.walker"); err != nil {
+		t.Fatal(err)
+	}
+	d.Advance(100 * time.Second)
+	fixes := app.Fixes()
+	if len(fixes) < 10 {
+		t.Fatalf("too few fixes: %d", len(fixes))
+	}
+	first, last := fixes[0].Point.Pos, fixes[len(fixes)-1].Point.Pos
+	if dist := geo.Distance(first, last); dist < 90 || dist > 110 {
+		t.Fatalf("movement not reflected: %v m", dist)
+	}
+	d.SetMovement(nil) // no-op
+}

@@ -1,0 +1,381 @@
+package android
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"locwatch/internal/geo"
+	"locwatch/internal/trace"
+)
+
+// Fix is one location delivery to an app.
+type Fix struct {
+	Provider Provider
+	Point    trace.Point
+	Coarse   bool
+	// Background records the app's state at delivery time.
+	Background bool
+}
+
+// listener is one registered location request.
+type listener struct {
+	app      *InstalledApp
+	provider Provider
+	minTime  time.Duration
+	coarse   bool
+
+	registered   time.Time
+	nextDue      time.Time
+	deliveries   int
+	bgDeliveries int
+	lastFix      trace.Point
+	hasFix       bool
+}
+
+// InstalledApp is an app installed on a Device.
+type InstalledApp struct {
+	Spec  AppSpec
+	state AppState
+
+	fixes []Fix
+}
+
+// State returns the app's lifecycle state.
+func (a *InstalledApp) State() AppState { return a.state }
+
+// Fixes returns the location deliveries the app has received.
+func (a *InstalledApp) Fixes() []Fix {
+	out := make([]Fix, len(a.fixes))
+	copy(out, a.fixes)
+	return out
+}
+
+// BackgroundFixes returns only the fixes delivered in background.
+func (a *InstalledApp) BackgroundFixes() []Fix {
+	var out []Fix
+	for _, f := range a.fixes {
+		if f.Background {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Device is a simulated handset: a clock, a movement model, installed
+// apps and a LocationManager. It is not safe for concurrent use; the
+// measurement campaign gives every worker its own device.
+type Device struct {
+	now       time.Time
+	pos       func(time.Time) geo.LatLon
+	apps      map[string]*InstalledApp
+	order     []string // install order, for deterministic dumpsys
+	fg        string   // foreground package, "" when on home screen
+	listeners []*listener
+
+	lastKnown map[Provider]trace.Point
+
+	// notifUntil is when the status-bar location indicator turns off
+	// (the user-visible signal the paper notes users rarely notice).
+	notifUntil time.Time
+}
+
+// coarseDigits is the decimal truncation applied to coarse fixes,
+// roughly 1.1 km — Android's "block-level" accuracy.
+const coarseDigits = 2
+
+// NewDevice returns a device whose owner stands still at pos. Use
+// SetMovement to attach a movement model.
+func NewDevice(start time.Time, pos geo.LatLon) *Device {
+	return &Device{
+		now:       start,
+		pos:       func(time.Time) geo.LatLon { return pos },
+		apps:      make(map[string]*InstalledApp),
+		lastKnown: make(map[Provider]trace.Point),
+	}
+}
+
+// SetMovement installs a movement model: the owner's position as a
+// function of time.
+func (d *Device) SetMovement(pos func(time.Time) geo.LatLon) {
+	if pos != nil {
+		d.pos = pos
+	}
+}
+
+// Now returns the device clock.
+func (d *Device) Now() time.Time { return d.now }
+
+// Install installs an app in the stopped state.
+func (d *Device) Install(spec AppSpec) (*InstalledApp, error) {
+	if spec.Package == "" {
+		return nil, fmt.Errorf("android: empty package name")
+	}
+	if _, dup := d.apps[spec.Package]; dup {
+		return nil, fmt.Errorf("android: %s already installed", spec.Package)
+	}
+	app := &InstalledApp{Spec: spec, state: StateStopped}
+	d.apps[spec.Package] = app
+	d.order = append(d.order, spec.Package)
+	return app, nil
+}
+
+// App returns an installed app.
+func (d *Device) App(pkg string) (*InstalledApp, error) {
+	app, ok := d.apps[pkg]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotInstalled, pkg)
+	}
+	return app, nil
+}
+
+// Launch brings the app to the foreground (moving any current
+// foreground app to background) and runs its auto-request behavior.
+func (d *Device) Launch(pkg string) error {
+	app, err := d.App(pkg)
+	if err != nil {
+		return err
+	}
+	if d.fg != "" && d.fg != pkg {
+		prev := d.apps[d.fg]
+		prev.state = StateBackground
+		if !prev.Spec.Behavior.Background {
+			// Pausing an activity that only requests in foreground
+			// unregisters its listeners, exactly like pressing home.
+			d.unregister(prev)
+		}
+	}
+	d.fg = pkg
+	app.state = StateForeground
+	if app.Spec.Behavior.UsesLocation && app.Spec.Behavior.AutoRequest {
+		if err := d.register(app); err != nil && err != ErrPermissionDenied {
+			return err
+		}
+	}
+	return nil
+}
+
+// Trigger simulates the user exercising the app's location feature
+// (tapping "find near me"): a non-auto-requesting app registers its
+// listeners now. No-op unless the app is in foreground.
+func (d *Device) Trigger(pkg string) error {
+	app, err := d.App(pkg)
+	if err != nil {
+		return err
+	}
+	if app.state != StateForeground || !app.Spec.Behavior.UsesLocation {
+		return nil
+	}
+	if d.registeredCount(app) > 0 {
+		return nil
+	}
+	if err := d.register(app); err != nil && err != ErrPermissionDenied {
+		return err
+	}
+	return nil
+}
+
+// Home presses the home button: the foreground app moves to background.
+// Apps without background behavior lose their listeners, exactly like
+// an activity unregistering in onPause.
+func (d *Device) Home() {
+	if d.fg == "" {
+		return
+	}
+	app := d.apps[d.fg]
+	app.state = StateBackground
+	d.fg = ""
+	if !app.Spec.Behavior.Background {
+		d.unregister(app)
+	}
+}
+
+// Close force-stops the app, removing all its listeners.
+func (d *Device) Close(pkg string) error {
+	app, err := d.App(pkg)
+	if err != nil {
+		return err
+	}
+	if d.fg == pkg {
+		d.fg = ""
+	}
+	app.state = StateStopped
+	d.unregister(app)
+	return nil
+}
+
+// register installs the app's listeners per its behavior, enforcing
+// the permission model.
+func (d *Device) register(app *InstalledApp) error {
+	registered := 0
+	for _, p := range app.Spec.Behavior.Providers {
+		if !app.Spec.allowed(p) {
+			continue
+		}
+		coarse := !app.Spec.DeclaresFine() || app.Spec.Behavior.PreferCoarse
+		if p == Network {
+			coarse = true // the network provider is block-level by nature
+		}
+		d.listeners = append(d.listeners, &listener{
+			app:        app,
+			provider:   p,
+			minTime:    app.Spec.Behavior.Interval,
+			coarse:     coarse,
+			registered: d.now,
+			nextDue:    d.now,
+		})
+		registered++
+	}
+	if registered == 0 && len(app.Spec.Behavior.Providers) > 0 {
+		return ErrPermissionDenied
+	}
+	return nil
+}
+
+// unregister removes all of the app's listeners.
+func (d *Device) unregister(app *InstalledApp) {
+	kept := d.listeners[:0]
+	for _, l := range d.listeners {
+		if l.app != app {
+			kept = append(kept, l)
+		}
+	}
+	d.listeners = kept
+}
+
+// registeredCount returns how many listeners the app holds.
+func (d *Device) registeredCount(app *InstalledApp) int {
+	n := 0
+	for _, l := range d.listeners {
+		if l.app == app {
+			n++
+		}
+	}
+	return n
+}
+
+// Advance moves the device clock forward, delivering due location
+// updates along the way in timestamp order.
+func (d *Device) Advance(dur time.Duration) {
+	end := d.now.Add(dur)
+	for {
+		next, ok := d.nextDue(end)
+		if !ok {
+			break
+		}
+		d.now = next
+		d.deliverDue()
+	}
+	d.now = end
+}
+
+// nextDue returns the earliest pending delivery time not after end.
+func (d *Device) nextDue(end time.Time) (time.Time, bool) {
+	var best time.Time
+	found := false
+	for _, l := range d.listeners {
+		if l.provider == Passive {
+			continue // passive wakes on others' deliveries
+		}
+		if l.nextDue.After(end) {
+			continue
+		}
+		if !found || l.nextDue.Before(best) {
+			best = l.nextDue
+			found = true
+		}
+	}
+	return best, found
+}
+
+// deliverDue delivers to every active listener due now, then feeds
+// passive listeners from the freshly cached fix.
+func (d *Device) deliverDue() {
+	delivered := false
+	for _, l := range d.listeners {
+		if l.provider == Passive || l.nextDue.After(d.now) {
+			continue
+		}
+		d.deliver(l)
+		delivered = true
+	}
+	if !delivered {
+		return
+	}
+	for _, l := range d.listeners {
+		if l.provider != Passive {
+			continue
+		}
+		if l.hasFix && d.now.Sub(l.lastFix.T) < l.minTime {
+			continue
+		}
+		d.deliver(l)
+	}
+}
+
+// deliver produces one fix for the listener.
+func (d *Device) deliver(l *listener) {
+	pos := d.pos(d.now)
+	coarse := l.coarse
+	if l.provider == Passive {
+		// Passive hands out whatever was last computed.
+		if cached, ok := d.lastKnown[GPS]; ok {
+			pos = cached.Pos
+		} else if cached, ok := d.lastKnown[Network]; ok {
+			pos = cached.Pos
+		}
+		coarse = !l.app.Spec.DeclaresFine() || l.app.Spec.Behavior.PreferCoarse
+	}
+	if coarse {
+		pos = geo.Truncate(pos, coarseDigits)
+	}
+	pt := trace.Point{Pos: pos, T: d.now}
+	l.lastFix = pt
+	l.hasFix = true
+	l.deliveries++
+	bg := l.app.state != StateForeground
+	if bg {
+		l.bgDeliveries++
+	}
+	l.app.fixes = append(l.app.fixes, Fix{
+		Provider:   l.provider,
+		Point:      pt,
+		Coarse:     coarse,
+		Background: bg,
+	})
+	if l.provider != Passive {
+		d.lastKnown[l.provider] = trace.Point{Pos: d.pos(d.now), T: d.now}
+		if l.minTime <= 0 {
+			l.nextDue = d.now.Add(time.Second)
+		} else {
+			l.nextDue = d.now.Add(l.minTime)
+		}
+	}
+	d.notifUntil = d.now.Add(10 * time.Second)
+}
+
+// NotificationVisible reports whether the status-bar location indicator
+// is currently lit.
+func (d *Device) NotificationVisible() bool {
+	return d.now.Before(d.notifUntil)
+}
+
+// Packages returns installed package names in install order.
+func (d *Device) Packages() []string {
+	out := make([]string, len(d.order))
+	copy(out, d.order)
+	return out
+}
+
+// sortedListeners returns listeners ordered for deterministic output.
+func (d *Device) sortedListeners() []*listener {
+	ls := make([]*listener, len(d.listeners))
+	copy(ls, d.listeners)
+	sort.SliceStable(ls, func(i, j int) bool {
+		if ls[i].app.Spec.Package != ls[j].app.Spec.Package {
+			return ls[i].app.Spec.Package < ls[j].app.Spec.Package
+		}
+		return ls[i].provider < ls[j].provider
+	})
+	return ls
+}

@@ -1,0 +1,125 @@
+package android
+
+import (
+	"bufio"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Dumpsys renders the device's location-manager state in the style of
+// `adb shell dumpsys location` — the diagnostic the paper's authors
+// used to see which apps request location, on which providers, and how
+// often. The output is stable and machine-parseable via ParseDumpsys.
+func (d *Device) Dumpsys() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Location Manager State (time=%s):\n", d.now.UTC().Format(time.RFC3339))
+	fmt.Fprintf(&b, "  Location Listeners:\n")
+	for _, l := range d.sortedListeners() {
+		fmt.Fprintf(&b, "    Receiver[pkg=%s provider=%s minTime=%s state=%s deliveries=%d bg=%d]\n",
+			l.app.Spec.Package, l.provider, formatInterval(l.minTime), l.app.state, l.deliveries, l.bgDeliveries)
+	}
+	fmt.Fprintf(&b, "  Last Known Locations:\n")
+	for _, p := range []Provider{GPS, Network, Passive, Fused} {
+		if pt, ok := d.lastKnown[p]; ok {
+			fmt.Fprintf(&b, "    %s: %.6f,%.6f @ %s\n", p, pt.Pos.Lat, pt.Pos.Lon, pt.T.UTC().Format(time.RFC3339))
+		}
+	}
+	return b.String()
+}
+
+// formatInterval renders 0 as "0s" and everything else compactly.
+func formatInterval(d time.Duration) string {
+	if d <= 0 {
+		return "0s"
+	}
+	return d.String()
+}
+
+// ListenerInfo is one parsed dumpsys listener line — what an external
+// observer learns about an app's location request.
+type ListenerInfo struct {
+	Package        string
+	Provider       Provider
+	MinTime        time.Duration
+	State          AppState
+	Deliveries     int
+	BackgroundHits int
+}
+
+// DumpsysReport is the parsed form of a Dumpsys string.
+type DumpsysReport struct {
+	Listeners []ListenerInfo
+}
+
+// ListenersOf returns the parsed listeners of one package.
+func (r DumpsysReport) ListenersOf(pkg string) []ListenerInfo {
+	var out []ListenerInfo
+	for _, l := range r.Listeners {
+		if l.Package == pkg {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// ParseDumpsys parses a Dumpsys report. Lines it does not recognize
+// are ignored (forward compatibility with richer dumps); malformed
+// Receiver lines return an error.
+func ParseDumpsys(s string) (DumpsysReport, error) {
+	var rep DumpsysReport
+	sc := bufio.NewScanner(strings.NewReader(s))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Receiver[") || !strings.HasSuffix(line, "]") {
+			continue
+		}
+		body := strings.TrimSuffix(strings.TrimPrefix(line, "Receiver["), "]")
+		info := ListenerInfo{}
+		for _, field := range strings.Fields(body) {
+			k, v, ok := strings.Cut(field, "=")
+			if !ok {
+				return DumpsysReport{}, fmt.Errorf("android: malformed dumpsys field %q", field)
+			}
+			var err error
+			switch k {
+			case "pkg":
+				info.Package = v
+			case "provider":
+				info.Provider, err = ParseProvider(v)
+			case "minTime":
+				info.MinTime, err = time.ParseDuration(v)
+			case "state":
+				info.State, err = parseState(v)
+			case "deliveries":
+				_, err = fmt.Sscanf(v, "%d", &info.Deliveries)
+			case "bg":
+				_, err = fmt.Sscanf(v, "%d", &info.BackgroundHits)
+			}
+			if err != nil {
+				return DumpsysReport{}, fmt.Errorf("android: dumpsys field %s=%q: %w", k, v, err)
+			}
+		}
+		if info.Package == "" {
+			return DumpsysReport{}, fmt.Errorf("android: Receiver line without pkg: %q", line)
+		}
+		rep.Listeners = append(rep.Listeners, info)
+	}
+	if err := sc.Err(); err != nil {
+		return DumpsysReport{}, fmt.Errorf("android: parse dumpsys: %w", err)
+	}
+	return rep, nil
+}
+
+func parseState(s string) (AppState, error) {
+	switch s {
+	case "stopped":
+		return StateStopped, nil
+	case "foreground":
+		return StateForeground, nil
+	case "background":
+		return StateBackground, nil
+	default:
+		return 0, fmt.Errorf("android: unknown state %q", s)
+	}
+}

@@ -1,0 +1,27 @@
+package android
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseDumpsys checks the dumpsys parser never panics and that
+// real Dumpsys output always parses.
+func FuzzParseDumpsys(f *testing.F) {
+	f.Add("Receiver[pkg=com.a provider=gps minTime=10s state=background deliveries=1 bg=1]")
+	f.Add("Receiver[pkg=x]")
+	f.Add("Receiver[]")
+	f.Add("noise\nReceiver[pkg=y provider=passive minTime=0s state=stopped deliveries=0 bg=0]\n")
+	f.Add(strings.Repeat("Receiver[pkg=a provider=network minTime=1h0m0s state=foreground deliveries=9 bg=0]\n", 5))
+	f.Fuzz(func(t *testing.T, in string) {
+		rep, err := ParseDumpsys(in)
+		if err != nil {
+			return
+		}
+		for _, l := range rep.Listeners {
+			if l.Package == "" {
+				t.Fatal("accepted listener without package")
+			}
+		}
+	})
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"locwatch/internal/geo"
+	"locwatch/internal/trace"
+)
+
+// population builds n users with partially overlapping venue sets:
+// consecutive users share their work district, so profiles overlap but
+// are not identical.
+func population(t testing.TB, n int) []*Profile {
+	t.Helper()
+	profiles := make([]*Profile, n)
+	for i := 0; i < n; i++ {
+		home := at(float64(i*37%360), 2000+float64(i%5)*800)
+		work := at(float64((i/2)*80%360), 5000) // pairs share a workplace
+		leisure := at(float64(i*61%360), 3500)
+		profiles[i] = mustProfile(t, commuteTrace(100+int64(i), 8, home, work, leisure))
+	}
+	return profiles
+}
+
+func TestNewAdversaryValidation(t *testing.T) {
+	if _, err := NewAdversary(nil); err == nil {
+		t.Fatal("empty adversary accepted")
+	}
+	if _, err := NewAdversary([]*Profile{nil}); err == nil {
+		t.Fatal("nil profile accepted")
+	}
+	a := mustProfile(t, nil)
+	b, err := BuildProfile(trace.NewSliceSource(nil), geo.LatLon{Lat: 1, Lon: 1}, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewAdversary([]*Profile{a, b}); err == nil {
+		t.Fatal("mismatched anchors accepted")
+	}
+}
+
+func TestAdversaryIdentifiesOwner(t *testing.T) {
+	profiles := population(t, 6)
+	adv, err := NewAdversary(profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.NumProfiles() != 6 {
+		t.Fatalf("NumProfiles = %d", adv.NumProfiles())
+	}
+	for _, pattern := range []Pattern{PatternRegion, PatternMovement} {
+		id, err := adv.Identify(profiles[0], pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !id.Candidates[0].Matched {
+			t.Fatalf("%v: owner's own profile did not match", pattern)
+		}
+		// The owner must get the largest posterior mass.
+		best := 0
+		for i, p := range id.Posterior {
+			if p > id.Posterior[best] {
+				best = i
+			}
+		}
+		if best != 0 {
+			t.Fatalf("%v: posterior peaks at profile %d, want 0 (posterior %v)", pattern, best, id.Posterior)
+		}
+		if id.DegAnonymity < 0 || id.DegAnonymity > 1 {
+			t.Fatalf("%v: DegAnonymity = %v", pattern, id.DegAnonymity)
+		}
+		// Identification happened, so anonymity cannot be maximal.
+		if id.DegAnonymity > 0.99 {
+			t.Fatalf("%v: identification left anonymity at %v", pattern, id.DegAnonymity)
+		}
+	}
+}
+
+func TestAdversarySingleMatchZeroAnonymity(t *testing.T) {
+	profiles := population(t, 5)
+	adv, err := NewAdversary(profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Movement patterns are nearly unique across this population: if
+	// exactly one profile matches, the degree of anonymity is zero.
+	id, err := adv.Identify(profiles[2], PatternMovement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.Matches == 1 && id.DegAnonymity != 0 {
+		t.Fatalf("single match but DegAnonymity = %v", id.DegAnonymity)
+	}
+}
+
+func TestAdversaryNoMatchMaxAnonymity(t *testing.T) {
+	profiles := population(t, 4)
+	adv, err := NewAdversary(profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A stranger from an unrelated district matches nobody.
+	stranger := mustProfile(t, commuteTrace(999, 8, at(10, 9500), at(95, 9000), at(200, 9700)))
+	for _, pattern := range []Pattern{PatternRegion, PatternMovement} {
+		id, err := adv.Identify(stranger, pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id.Matches != 0 {
+			continue // some overlap is possible; the zero-match path is tested below when it occurs
+		}
+		if math.Abs(id.DegAnonymity-1) > 1e-9 {
+			t.Fatalf("%v: no matches but DegAnonymity = %v", pattern, id.DegAnonymity)
+		}
+		if math.Abs(id.Entropy-id.MaxEntropy) > 1e-9 {
+			t.Fatalf("%v: no matches but entropy %v != max %v", pattern, id.Entropy, id.MaxEntropy)
+		}
+		for _, p := range id.Posterior {
+			if math.Abs(p-0.25) > 1e-9 {
+				t.Fatalf("%v: posterior not uniform: %v", pattern, id.Posterior)
+			}
+		}
+	}
+}
+
+func TestAdversaryPosteriorSumsToOne(t *testing.T) {
+	profiles := population(t, 8)
+	adv, err := NewAdversary(profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < len(profiles); u++ {
+		for _, pattern := range []Pattern{PatternRegion, PatternMovement} {
+			id, err := adv.Identify(profiles[u], pattern)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sum float64
+			for _, p := range id.Posterior {
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("user %d %v: posterior sums to %v", u, pattern, sum)
+			}
+		}
+	}
+}
+
+func TestAdversaryChiSquareWeighting(t *testing.T) {
+	// The literal Formula 2 weighting still produces a valid posterior.
+	params := DefaultParams()
+	params.Weighting = WeightChiSquare
+	var profiles []*Profile
+	for i := 0; i < 4; i++ {
+		home := at(float64(i*90), 2500)
+		work := at(float64(i*90+45), 6000)
+		leisure := at(float64(i*90+20), 4000)
+		p, err := BuildProfile(trace.NewSliceSource(commuteTrace(200+int64(i), 8, home, work, leisure)), anchor, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		profiles = append(profiles, p)
+	}
+	adv, err := NewAdversary(profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := adv.Identify(profiles[1], PatternRegion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range id.Posterior {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("chi-square weighting posterior sums to %v", sum)
+	}
+	if !id.Candidates[1].Matched {
+		t.Fatal("owner did not match under chi-square weighting")
+	}
+}
+
+func TestAdversaryThinObservationNeverMatches(t *testing.T) {
+	profiles := population(t, 3)
+	adv, err := NewAdversary(profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thin := mustProfile(t, nil)
+	id, err := adv.Identify(thin, PatternMovement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.Matches != 0 {
+		t.Fatalf("empty observation matched %d profiles", id.Matches)
+	}
+}

@@ -1,0 +1,370 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"locwatch/internal/geo"
+	"locwatch/internal/poi"
+	"locwatch/internal/stats"
+	"locwatch/internal/trace"
+)
+
+var (
+	anchor    = geo.LatLon{Lat: 39.9042, Lon: 116.4074}
+	testStart = time.Date(2026, 7, 1, 7, 0, 0, 0, time.UTC)
+)
+
+// builder assembles synthetic traces (same shape as the poi tests').
+type builder struct {
+	pts  []trace.Point
+	now  time.Time
+	pos  geo.LatLon
+	rate time.Duration
+	rng  *rand.Rand
+}
+
+func newBuilder(at geo.LatLon, seed int64) *builder {
+	return &builder{now: testStart, pos: at, rate: 2 * time.Second, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (b *builder) stay(dur time.Duration) *builder {
+	end := b.now.Add(dur)
+	for !b.now.After(end) {
+		p := geo.Destination(b.pos, b.rng.Float64()*360, b.rng.Float64()*6)
+		b.pts = append(b.pts, trace.Point{Pos: p, T: b.now})
+		b.now = b.now.Add(b.rate)
+	}
+	return b
+}
+
+func (b *builder) walk(dst geo.LatLon, speed float64) *builder {
+	total := geo.Distance(b.pos, dst)
+	steps := int(total / (speed * b.rate.Seconds()))
+	for i := 1; i <= steps; i++ {
+		p := geo.Interpolate(b.pos, dst, float64(i)/float64(steps+1))
+		b.pts = append(b.pts, trace.Point{Pos: p, T: b.now})
+		b.now = b.now.Add(b.rate)
+	}
+	b.pos = dst
+	b.pts = append(b.pts, trace.Point{Pos: dst, T: b.now})
+	b.now = b.now.Add(b.rate)
+	return b
+}
+
+func (b *builder) source() trace.Source { return trace.NewSliceSource(b.pts) }
+
+func at(bearing, dist float64) geo.LatLon { return geo.Destination(anchor, bearing, dist) }
+
+// commuteTrace builds `days` of home→work→leisure→home routine for a
+// user whose home/work are placed by a per-user offset, with per-day
+// jitter from the seed.
+func commuteTrace(seed int64, days int, home, work, leisure geo.LatLon) []trace.Point {
+	b := newBuilder(home, seed)
+	for d := 0; d < days; d++ {
+		b.stay(45*time.Minute).
+			walk(work, 9).
+			stay(4*time.Hour).
+			walk(leisure, 9).
+			stay(40*time.Minute).
+			walk(home, 9).
+			stay(45 * time.Minute)
+		// Overnight gap, within the extractor's MaxGap so it merges into
+		// one home visit; this mirrors real traces.
+		b.now = b.now.Add(10 * time.Hour)
+	}
+	return b.pts
+}
+
+func mustProfile(t testing.TB, pts []trace.Point) *Profile {
+	t.Helper()
+	p, err := BuildProfile(trace.NewSliceSource(pts), anchor, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParamsDefaults(t *testing.T) {
+	p, err := Params{}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MergeRadius != 75 || p.RegionCell != 1000 || p.Alpha != 0.05 {
+		t.Fatalf("defaults = %+v", p)
+	}
+	if p.Extractor.Radius != 50 || p.Extractor.MinVisit != 10*time.Minute {
+		t.Fatalf("extractor defaults = %+v", p.Extractor)
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"negative merge radius", func(p *Params) { p.MergeRadius = -1 }},
+		{"negative region cell", func(p *Params) { p.RegionCell = -1 }},
+		{"alpha too big", func(p *Params) { p.Alpha = 1.5 }},
+		{"negative smoothing", func(p *Params) { p.Smoothing = -1 }},
+		{"bad extractor", func(p *Params) { p.Extractor = poi.Params{Radius: -1, MinVisit: time.Minute} }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			params := DefaultParams()
+			tt.mutate(&params)
+			if _, err := NewProfileBuilder(anchor, params); err == nil {
+				t.Fatal("invalid params accepted")
+			}
+		})
+	}
+}
+
+func TestProfileFromCommute(t *testing.T) {
+	home, work, leisure := anchor, at(60, 4000), at(150, 2500)
+	prof := mustProfile(t, commuteTrace(1, 5, home, work, leisure))
+
+	if prof.NumPlaces() != 3 {
+		t.Fatalf("NumPlaces = %d, want 3 (home, work, leisure)", prof.NumPlaces())
+	}
+	if prof.NumVisits() < 15 { // ≥3 visits per day × 5 days
+		t.Fatalf("NumVisits = %d", prof.NumVisits())
+	}
+	if !prof.Usable(PatternRegion) || !prof.Usable(PatternMovement) {
+		t.Fatal("profile not usable")
+	}
+	// Movement histogram contains the habitual edges.
+	h2 := prof.Histogram(PatternMovement)
+	if h2.Len() < 3 {
+		t.Fatalf("movement histogram has %d keys: %v", h2.Len(), h2.Keys())
+	}
+	// Region histogram counts raw fixes: the three venue regions plus
+	// the road cells crossed while commuting. Dwell regions must carry
+	// the bulk of the mass (the user spends most time parked).
+	h1 := prof.Histogram(PatternRegion)
+	if h1.Len() < 3 {
+		t.Fatalf("region histogram has %d keys", h1.Len())
+	}
+	counts := make([]float64, 0, h1.Len())
+	for _, k := range h1.Keys() {
+		counts = append(counts, h1.Count(k))
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(counts)))
+	top3 := counts[0] + counts[1] + counts[2]
+	if top3 < h1.Total()*0.6 {
+		t.Fatalf("dwell regions hold only %.0f%% of point mass", 100*top3/h1.Total())
+	}
+	if prof.NumPoints() == 0 || prof.Anchor() != anchor {
+		t.Fatal("bookkeeping wrong")
+	}
+}
+
+func TestProfileSelfMatch(t *testing.T) {
+	prof := mustProfile(t, commuteTrace(2, 5, anchor, at(60, 4000), at(150, 2500)))
+	bin, err := prof.HisBin(prof, PatternRegion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bin != 1 {
+		t.Fatal("profile does not match itself under pattern 1")
+	}
+	bin, err = prof.HisBin(prof, PatternMovement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bin != 1 {
+		t.Fatal("profile does not match itself under pattern 2")
+	}
+}
+
+func TestProfileDistinctUsersDoNotMatch(t *testing.T) {
+	// Two users with disjoint home/work districts: neither's data fits
+	// the other's profile.
+	a := mustProfile(t, commuteTrace(3, 5, anchor, at(60, 4000), at(150, 2500)))
+	b := mustProfile(t, commuteTrace(4, 5, at(270, 6000), at(300, 9000), at(330, 7000)))
+	bin, err := a.HisBin(b, PatternRegion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bin != 0 {
+		t.Fatal("disjoint users matched under pattern 1")
+	}
+	bin, err = a.HisBin(b, PatternMovement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bin != 0 {
+		t.Fatal("disjoint users matched under pattern 2")
+	}
+}
+
+func TestProfileUnusableWhenEmpty(t *testing.T) {
+	empty := mustProfile(t, nil)
+	if empty.Usable(PatternRegion) || empty.Usable(PatternMovement) {
+		t.Fatal("empty profile usable")
+	}
+	other := mustProfile(t, commuteTrace(5, 3, anchor, at(60, 4000), at(150, 2500)))
+	if _, err := empty.Compare(other, PatternRegion); !errors.Is(err, ErrNoProfile) {
+		t.Fatalf("Compare on empty reference: %v", err)
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	home, work, leisure := anchor, at(60, 4000), at(150, 2500)
+	pts := commuteTrace(6, 5, home, work, leisure)
+	gt := mustProfile(t, pts)
+
+	// Full collection discovers everything.
+	full := mustProfile(t, pts)
+	total, disc := gt.Coverage(full)
+	if total != 3 || disc != 3 {
+		t.Fatalf("full coverage = %d/%d", disc, total)
+	}
+
+	// A 30-minute sampler misses short stays (the 40-minute leisure stop
+	// survives, shorter dwells would not).
+	sampled, err := BuildProfile(trace.NewSampler(trace.NewSliceSource(pts), 30*time.Minute, 0), anchor, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, discSampled := gt.Coverage(sampled)
+	if discSampled > disc {
+		t.Fatal("sampling cannot discover more places")
+	}
+
+	// An empty observation discovers nothing.
+	empty := mustProfile(t, nil)
+	if _, d := gt.Coverage(empty); d != 0 {
+		t.Fatalf("empty coverage = %d", d)
+	}
+}
+
+func TestSensitiveCoverage(t *testing.T) {
+	home, work := anchor, at(60, 4000)
+	clinic := at(200, 3000)
+	b := newBuilder(home, 7)
+	for d := 0; d < 6; d++ {
+		b.stay(45*time.Minute).walk(work, 9).stay(4 * time.Hour)
+		if d == 2 {
+			b.walk(clinic, 9).stay(30 * time.Minute)
+		}
+		b.walk(home, 9).stay(45 * time.Minute)
+		b.now = b.now.Add(10 * time.Hour)
+	}
+	gt := mustProfile(t, b.pts)
+	sens := gt.SensitivePlaces(3)
+	if len(sens) != 1 {
+		t.Fatalf("sensitive places = %d, want 1 (the clinic)", len(sens))
+	}
+	if geo.Distance(sens[0].Pos, clinic) > 75 {
+		t.Fatal("sensitive place is not the clinic")
+	}
+	total, disc := gt.SensitiveCoverage(gt, 3)
+	if total != 1 || disc != 1 {
+		t.Fatalf("self sensitive coverage = %d/%d", disc, total)
+	}
+}
+
+func TestRegionOfStable(t *testing.T) {
+	prof := mustProfile(t, nil)
+	r1 := prof.RegionOf(anchor)
+	r2 := prof.RegionOf(geo.Destination(anchor, 10, 5))
+	if r1 != r2 {
+		t.Fatal("nearby points land in different regions")
+	}
+	if prof.RegionOf(at(90, 5000)) == r1 {
+		t.Fatal("distant point in the same region")
+	}
+}
+
+func TestPatternAndWeightingStrings(t *testing.T) {
+	if PatternRegion.String() == "" || PatternMovement.String() == "" || Pattern(9).String() == "" {
+		t.Fatal("Pattern.String broken")
+	}
+	if WeightPValue.String() == "" || WeightChiSquare.String() == "" || Weighting(9).String() == "" {
+		t.Fatal("Weighting.String broken")
+	}
+}
+
+func TestBuildProfilePropagatesSourceError(t *testing.T) {
+	boom := errors.New("boom")
+	src := trace.SourceFunc(func() (trace.Point, error) { return trace.Point{}, boom })
+	if _, err := BuildProfile(src, anchor, Params{}); !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+}
+
+func TestProfileCompareResultFields(t *testing.T) {
+	prof := mustProfile(t, commuteTrace(8, 5, anchor, at(60, 4000), at(150, 2500)))
+	g, err := prof.Compare(prof, PatternRegion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.DF < 1 || g.PValue < 0 || g.PValue > 1 {
+		t.Fatalf("odd result %+v", g)
+	}
+	if g.Tail != stats.TailUpper {
+		t.Fatalf("tail = %v", g.Tail)
+	}
+}
+
+func TestProfileSojournDebounce(t *testing.T) {
+	// Flickering across a cell boundary must not inflate the effective
+	// sample size: a user bouncing between two adjacent regions every
+	// fix accumulates sojourns far slower than their point count.
+	b, err := NewProfileBuilder(anchor, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two positions straddling a region boundary ~1 km apart.
+	left := anchor
+	right := at(90, 1200)
+	ts := testStart
+	for i := 0; i < 300; i++ {
+		pos := left
+		if i%2 == 1 {
+			pos = right
+		}
+		if err := b.Feed(trace.Point{Pos: pos, T: ts}); err != nil {
+			t.Fatal(err)
+		}
+		ts = ts.Add(2 * time.Second)
+	}
+	p := b.Profile()
+	if p.NumPoints() != 300 {
+		t.Fatalf("points = %d", p.NumPoints())
+	}
+	// Pure flicker never reaches the 3-fix debounce, so no sojourns.
+	if got := p.sojourns; got != 0 {
+		t.Fatalf("flicker produced %d sojourns", got)
+	}
+	// A steady run does count.
+	for i := 0; i < 10; i++ {
+		if err := b.Feed(trace.Point{Pos: left, T: ts}); err != nil {
+			t.Fatal(err)
+		}
+		ts = ts.Add(2 * time.Second)
+	}
+	if p.sojourns != 1 {
+		t.Fatalf("steady run produced %d sojourns, want 1", p.sojourns)
+	}
+}
+
+func TestCompareRequiresMinimumEvidence(t *testing.T) {
+	ref := mustProfile(t, commuteTrace(30, 8, anchor, at(60, 4000), at(150, 2500)))
+	// A tiny observation (a few minutes of fixes) is below both
+	// evidence gates: Compare errors with ErrNoProfile, HisBin says 0.
+	tiny := mustProfile(t, commuteTrace(31, 8, anchor, at(60, 4000), at(150, 2500))[:100])
+	for _, pattern := range []Pattern{PatternRegion, PatternMovement} {
+		if _, err := ref.Compare(tiny, pattern); !errors.Is(err, ErrNoProfile) {
+			t.Fatalf("%v: Compare on tiny observation: %v", pattern, err)
+		}
+		bin, err := ref.HisBin(tiny, pattern)
+		if err != nil || bin != 0 {
+			t.Fatalf("%v: HisBin on tiny observation = %d, %v", pattern, bin, err)
+		}
+	}
+}

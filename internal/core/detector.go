@@ -1,0 +1,175 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"locwatch/internal/stats"
+	"locwatch/internal/trace"
+)
+
+// Detection is the outcome of a streaming breach check.
+type Detection struct {
+	Breached bool // His_bin == 1: collected data fits the profile
+	Result   stats.GoodnessOfFit
+	// PointsFed and VisitsSeen describe how much collected data the
+	// decision is based on.
+	PointsFed  int
+	VisitsSeen int
+}
+
+// Detector is the streaming His_bin risk monitor: it accumulates the
+// locations an app has collected about a user and reports, at any
+// point, whether that collection already reveals the user's activity
+// profile under a given pattern. This is the detector the paper
+// proposes deploying on-device to alert users before the breach
+// completes, and the engine behind the Figure 4 experiments.
+type Detector struct {
+	reference *Profile
+	pattern   Pattern
+	builder   *ProfileBuilder
+}
+
+// NewDetector returns a detector that checks collected data against
+// the given reference profile. The observed data is accumulated with
+// the reference's parameters and anchor so histograms align.
+func NewDetector(reference *Profile, pattern Pattern) (*Detector, error) {
+	if reference == nil {
+		return nil, errors.New("core: nil reference profile")
+	}
+	b, err := NewProfileBuilder(reference.Anchor(), reference.Params())
+	if err != nil {
+		return nil, err
+	}
+	return &Detector{reference: reference, pattern: pattern, builder: b}, nil
+}
+
+// Pattern returns the pattern the detector compares under.
+func (d *Detector) Pattern() Pattern { return d.pattern }
+
+// Observed returns the live observed profile accumulated so far.
+func (d *Detector) Observed() *Profile { return d.builder.profile }
+
+// Feed adds one collected fix.
+func (d *Detector) Feed(pt trace.Point) error { return d.builder.Feed(pt) }
+
+// Check runs the His_bin test on everything fed so far. It does not
+// flush the open stay, so it can be called between points at any
+// cadence; a trailing open stay only contributes once it completes.
+// When either side is still too thin for a test, Check reports no
+// breach with a zero Result and a nil error.
+func (d *Detector) Check() (Detection, error) {
+	obs := d.builder.profile
+	det := Detection{PointsFed: obs.NumPoints(), VisitsSeen: obs.NumVisits()}
+	g, err := d.reference.Compare(obs, d.pattern)
+	if err != nil {
+		if errors.Is(err, ErrNoProfile) || errors.Is(err, stats.ErrDegenerate) {
+			return det, nil
+		}
+		return det, err
+	}
+	det.Result = g
+	det.Breached = g.Match(d.reference.Params().Alpha)
+	return det, nil
+}
+
+// checkStridePoints bounds how many points may pass between breach
+// checks: pattern 1's histogram changes on every fix, so the detector
+// re-tests periodically even when no new visit completes.
+const checkStridePoints = 500
+
+// FirstBreach streams src into the detector until the first breach,
+// checking after every newly completed visit and at least every
+// checkStridePoints fixes (pattern 1 evolves point by point). It
+// returns the detection state at the moment of the breach, or the
+// final state with Breached == false if the stream ends first.
+func (d *Detector) FirstBreach(src trace.Source) (Detection, error) {
+	lastVisits := d.builder.profile.NumVisits()
+	sinceCheck := 0
+	for {
+		pt, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return Detection{}, fmt.Errorf("core: first breach: %w", err)
+		}
+		if err := d.Feed(pt); err != nil {
+			return Detection{}, err
+		}
+		sinceCheck++
+		newVisit := d.builder.profile.NumVisits() != lastVisits
+		if !newVisit && sinceCheck < checkStridePoints {
+			continue
+		}
+		lastVisits = d.builder.profile.NumVisits()
+		sinceCheck = 0
+		det, err := d.Check()
+		if err != nil {
+			return det, err
+		}
+		if det.Breached {
+			return det, nil
+		}
+	}
+	return d.Check()
+}
+
+// CombinedDetector evaluates both patterns at once and raises on
+// whichever fires first — the paper's concluding recommendation
+// ("combine both patterns ... issue an alert when either of them
+// detects the risk").
+type CombinedDetector struct {
+	region   *Detector
+	movement *Detector
+}
+
+// NewCombinedDetector returns a detector over both patterns.
+func NewCombinedDetector(reference *Profile) (*CombinedDetector, error) {
+	r, err := NewDetector(reference, PatternRegion)
+	if err != nil {
+		return nil, err
+	}
+	m, err := NewDetector(reference, PatternMovement)
+	if err != nil {
+		return nil, err
+	}
+	return &CombinedDetector{region: r, movement: m}, nil
+}
+
+// Observed returns the live observed profile of the given pattern's
+// detector.
+func (c *CombinedDetector) Observed(pattern Pattern) *Profile {
+	if pattern == PatternMovement {
+		return c.movement.Observed()
+	}
+	return c.region.Observed()
+}
+
+// Feed adds one collected fix to both detectors.
+func (c *CombinedDetector) Feed(pt trace.Point) error {
+	if err := c.region.Feed(pt); err != nil {
+		return err
+	}
+	return c.movement.Feed(pt)
+}
+
+// Check runs both tests; the combined detection is breached when
+// either is. The per-pattern detections are returned for attribution.
+func (c *CombinedDetector) Check() (combined Detection, region, movement Detection, err error) {
+	region, err = c.region.Check()
+	if err != nil {
+		return Detection{}, region, movement, err
+	}
+	movement, err = c.movement.Check()
+	if err != nil {
+		return Detection{}, region, movement, err
+	}
+	combined = region
+	combined.Breached = region.Breached || movement.Breached
+	if !region.Breached && movement.Breached {
+		combined.Result = movement.Result
+	}
+	return combined, region, movement, nil
+}

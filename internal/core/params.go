@@ -1,0 +1,177 @@
+// Package core implements the paper's privacy model — its primary
+// contribution. It turns location streams into user profiles (PoIs,
+// region-visit histograms, movement-pattern histograms), runs the
+// His_bin chi-square breach detector under the paper's two patterns,
+// computes the PoI_total / PoI_sensitive exposure metrics, and models
+// the adversary that matches collected data against a set of candidate
+// profiles to measure the degree of anonymity (Formulas 2–5).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"locwatch/internal/poi"
+	"locwatch/internal/stats"
+)
+
+// Pattern selects which histogram the His_bin detector compares.
+type Pattern int
+
+const (
+	// PatternRegion is the paper's "pattern 1": ⟨region, visited times⟩,
+	// the profile representation used by prior work.
+	PatternRegion Pattern = iota
+	// PatternMovement is the paper's "pattern 2": ⟨movement pattern
+	// PoI_i→PoI_j, happen times⟩ — the paper's proposed representation.
+	PatternMovement
+)
+
+// String implements fmt.Stringer.
+func (p Pattern) String() string {
+	switch p {
+	case PatternRegion:
+		return "pattern1-region"
+	case PatternMovement:
+		return "pattern2-movement"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// Weighting selects how the adversary converts per-profile chi-square
+// results into the posterior of Formula 2.
+type Weighting int
+
+const (
+	// WeightPValue weights matching profiles by their upper-tail
+	// p-value: better fits get more probability mass. This is the
+	// sensible reading of the paper's intent and the default.
+	WeightPValue Weighting = iota
+	// WeightChiSquare implements Formula 2 literally: matching profiles
+	// are weighted by their chi-square statistic, so worse fits get
+	// *more* mass. Kept for faithfulness ablations.
+	WeightChiSquare
+)
+
+// String implements fmt.Stringer.
+func (w Weighting) String() string {
+	switch w {
+	case WeightPValue:
+		return "p-value"
+	case WeightChiSquare:
+		return "chi-square"
+	default:
+		return fmt.Sprintf("Weighting(%d)", int(w))
+	}
+}
+
+// Params configures profile construction and breach detection.
+type Params struct {
+	// Extractor parameterizes PoI extraction (paper Table III; the
+	// operating point is radius 50 m, visit 10 min).
+	Extractor poi.Params
+	// MergeRadius merges extracted stays into canonical places, and is
+	// also the match radius when comparing collected places against a
+	// profile's. Defaults to 75 m.
+	MergeRadius float64
+	// RegionCell is the grid size of pattern 1's regions in meters (coarse, cell-tower-era granularity as in the prior work pattern 1 models).
+	// Region identifiers are grid cells of a projection anchored at the
+	// profile's anchor point, so they are directly comparable between a
+	// profile and data collected about any user of the same city.
+	// Defaults to 1000 m.
+	RegionCell float64
+	// TransitionMaxGap bounds the time between two consecutive visits
+	// for them to form a movement-pattern edge. Defaults to 12 h.
+	TransitionMaxGap time.Duration
+	// Smoothing is the Laplace mass added to every expected category in
+	// the chi-square comparison, so observations in categories missing
+	// from the reference count as mismatch. Defaults to 0.5.
+	Smoothing float64
+	// Alpha is the significance level of the His_bin test; the paper
+	// uses 0.05.
+	Alpha float64
+	// Tail selects the chi-square tail (see stats.Tail; upper is the
+	// conventional reading and the default).
+	Tail stats.Tail
+	// Weighting selects the adversary's posterior weighting.
+	Weighting Weighting
+	// MinPointEvidence is the minimum number of collected fixes before
+	// a pattern-1 test can be decided, measured in effective (sojourn-corrected) mass; below it His_bin reports 0.
+	// Chi-square results on tiny samples are vacuous (the test has no
+	// power and "matches" anything). Defaults to 60 debounced sojourns (roughly two days of continuous data).
+	MinPointEvidence float64
+	// MinTransitionEvidence is the pattern-2 equivalent: the minimum
+	// number of observed place-to-place transitions. Defaults to 6.
+	MinTransitionEvidence float64
+	// PoolShare pools reference categories holding less than this share
+	// of the expected mass into one residual category before the
+	// chi-square test (the standard minimum-expected-count practice).
+	// Defaults to 0.02.
+	PoolShare float64
+}
+
+// DefaultParams returns the paper's operating point.
+func DefaultParams() Params {
+	return Params{
+		Extractor:        poi.DefaultParams(),
+		MergeRadius:      75,
+		RegionCell:       1000,
+		TransitionMaxGap: 12 * time.Hour,
+		Smoothing:        0.5,
+		Alpha:            0.05,
+		Tail:             stats.TailUpper,
+		Weighting:        WeightPValue,
+
+		MinPointEvidence:      60,
+		MinTransitionEvidence: 6,
+		PoolShare:             0.02,
+	}
+}
+
+func (p Params) withDefaults() (Params, error) {
+	d := DefaultParams()
+	if p.Extractor == (poi.Params{}) {
+		p.Extractor = d.Extractor
+	}
+	if p.MergeRadius == 0 {
+		p.MergeRadius = d.MergeRadius
+	}
+	if p.RegionCell == 0 {
+		p.RegionCell = d.RegionCell
+	}
+	if p.TransitionMaxGap == 0 {
+		p.TransitionMaxGap = d.TransitionMaxGap
+	}
+	if p.Smoothing == 0 {
+		p.Smoothing = d.Smoothing
+	}
+	if p.Alpha == 0 {
+		p.Alpha = d.Alpha
+	}
+	if p.MinPointEvidence == 0 {
+		p.MinPointEvidence = d.MinPointEvidence
+	}
+	if p.MinTransitionEvidence == 0 {
+		p.MinTransitionEvidence = d.MinTransitionEvidence
+	}
+	if p.PoolShare == 0 {
+		p.PoolShare = d.PoolShare
+	}
+	switch {
+	case p.MergeRadius < 0:
+		return p, errors.New("core: negative merge radius")
+	case p.RegionCell < 0:
+		return p, errors.New("core: negative region cell")
+	case p.Alpha <= 0 || p.Alpha >= 1:
+		return p, fmt.Errorf("core: alpha %v outside (0, 1)", p.Alpha)
+	case p.Smoothing < 0:
+		return p, errors.New("core: negative smoothing")
+	case p.MinPointEvidence < 0 || p.MinTransitionEvidence < 0:
+		return p, errors.New("core: negative evidence threshold")
+	case p.PoolShare < 0 || p.PoolShare >= 1:
+		return p, fmt.Errorf("core: pool share %v outside [0, 1)", p.PoolShare)
+	}
+	return p, nil
+}

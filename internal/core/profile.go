@@ -1,0 +1,361 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"locwatch/internal/geo"
+	"locwatch/internal/geoidx"
+	"locwatch/internal/poi"
+	"locwatch/internal/stats"
+	"locwatch/internal/trace"
+)
+
+// ErrNoProfile is returned when an operation needs a non-degenerate
+// profile (at least two histogram categories) and none is available.
+var ErrNoProfile = errors.New("core: profile has too little data")
+
+// visitRec is one extracted stay retained for movement-pattern
+// re-keying against an arbitrary reference profile.
+type visitRec struct {
+	pos   geo.LatLon
+	enter time.Time
+	exit  time.Time
+}
+
+// Profile is what an observer can distill from a user's location
+// stream. It holds the two representations the paper compares:
+//
+//   - pattern 1 ⟨region, visited times⟩: a histogram of raw collected
+//     fixes over grid regions, the representation of prior work (Zang &
+//     Bolot count cellular records per location; no PoI extraction is
+//     involved). Its category mass equals the number of points, so the
+//     chi-square test is powerful early and rejects until the observed
+//     dwell-time mix converges to the profile's.
+//
+//   - pattern 2 ⟨movement pattern PoI_i→PoI_j, happen times⟩: a
+//     histogram of transitions between canonical places extracted by
+//     the Spatio-Temporal algorithm — the paper's proposal. Its mass
+//     grows one transition per place-to-place movement, so it is sparse
+//     but stationary for users with habitual routines.
+//
+// Built from the full native-rate trace it is the "ground truth" user
+// profile; built from an app's sampled collection it is the observed
+// side of the His_bin comparison.
+type Profile struct {
+	params Params
+	anchor geo.LatLon
+
+	places  *poi.Canonicalizer
+	regions *geoidx.Index // region quantizer (pattern 1 key space)
+
+	regionHist *stats.Histogram // region → number of fixes
+	moveHist   *stats.Histogram // "p<i>→p<j>" (own place IDs) → count
+	visitSeq   []visitRec       // stays in time order, for re-keying
+
+	lastVisit    poi.Visit
+	hasLastVisit bool
+
+	lastRegion string
+	regionRun  int // consecutive fixes in lastRegion
+	sojourns   int // debounced region entries: the effective sample size of regionHist
+
+	points int
+	visits int
+}
+
+// ProfileBuilder incrementally builds a Profile from a point stream.
+type ProfileBuilder struct {
+	profile   *Profile
+	extractor *poi.Extractor
+}
+
+// NewProfileBuilder returns a builder anchored at the given point (any
+// fixed landmark of the data's city; profiles compared to each other
+// must share the anchor so region identifiers align).
+func NewProfileBuilder(anchor geo.LatLon, params Params) (*ProfileBuilder, error) {
+	p, err := params.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	places, err := poi.NewCanonicalizer(anchor, p.MergeRadius)
+	if err != nil {
+		return nil, err
+	}
+	regions, err := geoidx.New(anchor, p.RegionCell)
+	if err != nil {
+		return nil, err
+	}
+	prof := &Profile{
+		params:     p,
+		anchor:     anchor,
+		places:     places,
+		regions:    regions,
+		regionHist: stats.NewHistogram(),
+		moveHist:   stats.NewHistogram(),
+	}
+	b := &ProfileBuilder{profile: prof}
+	b.extractor, err = poi.NewExtractor(p.Extractor, b.observe)
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Feed processes the next fix of the stream: it contributes to the
+// pattern-1 region histogram immediately and drives PoI extraction for
+// pattern 2.
+func (b *ProfileBuilder) Feed(pt trace.Point) error {
+	if err := b.extractor.Feed(pt); err != nil {
+		return err
+	}
+	p := b.profile
+	region := p.regions.RegionID(pt.Pos)
+	p.regionHist.Inc(region)
+	// A sojourn — one independent observation of the user's dwell mix —
+	// is counted only after sojournDebounce consecutive fixes in the
+	// region: cell-boundary flicker and brief transit crossings are not
+	// independent samples, and counting them would inflate the
+	// chi-square test's effective sample size.
+	if region != p.lastRegion {
+		p.lastRegion = region
+		p.regionRun = 0
+	}
+	p.regionRun++
+	if p.regionRun == sojournDebounce {
+		p.sojourns++
+	}
+	p.points++
+	return nil
+}
+
+// sojournDebounce is the run length at which a region entry counts as
+// a sojourn.
+const sojournDebounce = 3
+
+// observe receives each extracted stay and updates the movement state.
+func (b *ProfileBuilder) observe(s poi.StayPoint) {
+	p := b.profile
+	v := p.places.Observe(s)
+	p.visits++
+	p.visitSeq = append(p.visitSeq, visitRec{pos: s.Pos, enter: s.Enter, exit: s.Exit})
+
+	if p.hasLastVisit && v.PlaceID != p.lastVisit.PlaceID {
+		gap := v.Enter.Sub(p.lastVisit.Exit)
+		if p.params.TransitionMaxGap <= 0 || gap <= p.params.TransitionMaxGap {
+			p.moveHist.Inc(moveKey(placeKey(p.lastVisit.PlaceID), placeKey(v.PlaceID)))
+		}
+	}
+	p.lastVisit = v
+	p.hasLastVisit = true
+}
+
+func placeKey(id int) string { return "p" + strconv.Itoa(id) }
+
+func moveKey(from, to string) string { return from + "→" + to }
+
+// Profile finalizes and returns the profile built so far. The builder
+// remains usable; the returned profile is a live view that continues to
+// update if more points are fed — snapshot the histograms if isolation
+// is needed.
+func (b *ProfileBuilder) Profile() *Profile {
+	b.extractor.Flush()
+	return b.profile
+}
+
+// BuildProfile drains src into a new profile.
+func BuildProfile(src trace.Source, anchor geo.LatLon, params Params) (*Profile, error) {
+	b, err := NewProfileBuilder(anchor, params)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		pt, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: build profile: %w", err)
+		}
+		if err := b.Feed(pt); err != nil {
+			return nil, err
+		}
+	}
+	return b.Profile(), nil
+}
+
+// Anchor returns the projection anchor region identifiers are relative
+// to.
+func (p *Profile) Anchor() geo.LatLon { return p.anchor }
+
+// Params returns the parameters the profile was built with.
+func (p *Profile) Params() Params { return p.params }
+
+// NumPoints returns the number of fixes consumed.
+func (p *Profile) NumPoints() int { return p.points }
+
+// NumVisits returns the number of extracted PoI visits.
+func (p *Profile) NumVisits() int { return p.visits }
+
+// Places returns the canonical places with visit counts.
+func (p *Profile) Places() []poi.Place { return p.places.Places() }
+
+// NumPlaces returns the number of canonical places — the paper's
+// PoI_total for this data.
+func (p *Profile) NumPlaces() int { return p.places.NumPlaces() }
+
+// SensitivePlaces returns places visited at most maxVisits times — the
+// paper's PoI_sensitive ground truth (maxVisits = 3 in Figure 3(b)).
+func (p *Profile) SensitivePlaces(maxVisits int) []poi.Place {
+	return p.places.SensitivePlaces(maxVisits)
+}
+
+// Histogram returns the profile's own histogram for the given pattern:
+// region point counts for pattern 1, own-place-keyed transitions for
+// pattern 2. The returned histogram is live; clone before mutating.
+func (p *Profile) Histogram(pattern Pattern) *stats.Histogram {
+	if pattern == PatternMovement {
+		return p.moveHist
+	}
+	return p.regionHist
+}
+
+// Usable reports whether the profile has enough signal to serve as a
+// chi-square reference under the given pattern.
+func (p *Profile) Usable(pattern Pattern) bool {
+	h := p.Histogram(pattern)
+	return h.Len() >= 2 && h.Total() >= 2
+}
+
+// RegionOf returns the pattern-1 region identifier of a position under
+// this profile's anchor and cell size.
+func (p *Profile) RegionOf(pos geo.LatLon) string { return p.regions.RegionID(pos) }
+
+// Coverage reports how much of this (ground-truth) profile's places an
+// observed profile discovered: an observed place within MergeRadius of
+// a ground-truth place counts as discovering it. It returns the number
+// of ground-truth places and how many were discovered — the ratio is
+// the paper's PoI_total exposure for a given collection behaviour.
+func (p *Profile) Coverage(observed *Profile) (total, discovered int) {
+	places := p.places.Places()
+	for _, gt := range places {
+		if observed.places.Locate(gt.Pos) >= 0 {
+			discovered++
+		}
+	}
+	return len(places), discovered
+}
+
+// SensitiveCoverage is Coverage restricted to ground-truth places
+// visited at most maxVisits times (the PoI_sensitive exposure).
+func (p *Profile) SensitiveCoverage(observed *Profile, maxVisits int) (total, discovered int) {
+	for _, gt := range p.places.SensitivePlaces(maxVisits) {
+		total++
+		if observed.places.Locate(gt.Pos) >= 0 {
+			discovered++
+		}
+	}
+	return total, discovered
+}
+
+// movementObservedAgainst re-keys the observed profile's visit sequence
+// into THIS profile's place registry and returns the resulting
+// transition histogram. Stays that do not locate to any of this
+// profile's places get a synthetic region-based key, which cannot occur
+// in this profile's histogram and therefore counts as mismatch under
+// smoothing.
+func (p *Profile) movementObservedAgainst(observed *Profile) *stats.Histogram {
+	h := stats.NewHistogram()
+	prevKey := ""
+	var prevExit time.Time
+	havePrev := false
+	for _, v := range observed.visitSeq {
+		var key string
+		if id := p.places.Locate(v.pos); id >= 0 {
+			key = placeKey(id)
+		} else {
+			key = "u:" + p.regions.RegionID(v.pos)
+		}
+		if havePrev && key != prevKey {
+			gap := v.enter.Sub(prevExit)
+			if p.params.TransitionMaxGap <= 0 || gap <= p.params.TransitionMaxGap {
+				h.Inc(moveKey(prevKey, key))
+			}
+		}
+		prevKey = key
+		prevExit = v.exit
+		havePrev = true
+	}
+	return h
+}
+
+// evidence returns the observed mass available for a test under the
+// given pattern and the minimum required by the parameters.
+func (p *Profile) evidence(obs *stats.Histogram, pattern Pattern) (have, need float64) {
+	if pattern == PatternMovement {
+		return obs.Total(), p.params.MinTransitionEvidence
+	}
+	return obs.Total(), p.params.MinPointEvidence
+}
+
+// Compare runs the His_bin chi-square test of an observed profile
+// against this reference profile under the given pattern. The observed
+// data plays "observed" and this profile plays "expected"; for
+// pattern 2 the observed stays are first re-keyed into this profile's
+// place registry. ErrNoProfile is returned when the reference is
+// unusable under the pattern or the observation has not yet reached
+// the minimum evidence for a meaningful test.
+func (p *Profile) Compare(observed *Profile, pattern Pattern) (stats.GoodnessOfFit, error) {
+	if !p.Usable(pattern) {
+		return stats.GoodnessOfFit{}, ErrNoProfile
+	}
+	var obs *stats.Histogram
+	if pattern == PatternMovement {
+		obs = p.movementObservedAgainst(observed)
+	} else {
+		// Design-effect correction: consecutive fixes are heavily
+		// autocorrelated (a user parked at home for eight hours is one
+		// observation of "home", not ten thousand), so the observed
+		// histogram keeps its point-level *proportions* but is scaled
+		// down to the effective sample size — the number of region
+		// sojourns. Without this the test has unbounded power and
+		// rejects every profile, including the user's own, on any
+		// cross-window drift.
+		obs = observed.regionHist
+		if observed.points > 0 && observed.sojourns > 0 && observed.sojourns < observed.points {
+			obs = obs.Scaled(float64(observed.sojourns) / float64(observed.points))
+		}
+	}
+	if have, need := p.evidence(obs, pattern); have < need {
+		return stats.GoodnessOfFit{}, fmt.Errorf("%w: %v observed mass, need %v", ErrNoProfile, have, need)
+	}
+	g, err := stats.CompareHistograms(obs, p.Histogram(pattern), p.params.Smoothing, p.params.PoolShare, p.params.Tail)
+	if err != nil {
+		if errors.Is(err, stats.ErrDegenerate) {
+			return stats.GoodnessOfFit{}, fmt.Errorf("%w: %v", ErrNoProfile, err)
+		}
+		return stats.GoodnessOfFit{}, err
+	}
+	return g, nil
+}
+
+// HisBin evaluates the paper's His_bin metric: 1 when the observed data
+// fits this profile (privacy breach — the collection reveals the
+// user's activity profile), 0 otherwise. Insufficient evidence counts
+// as 0 rather than an error.
+func (p *Profile) HisBin(observed *Profile, pattern Pattern) (int, error) {
+	g, err := p.Compare(observed, pattern)
+	if errors.Is(err, ErrNoProfile) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	if g.Match(p.params.Alpha) {
+		return 1, nil
+	}
+	return 0, nil
+}

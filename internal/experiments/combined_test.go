@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCombinedDetectorDominates(t *testing.T) {
+	l := mustLab(t, tinyConfig())
+	r, err := Combined(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(l.cfg.Intervals) {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// The combined detector fires for every user either pattern
+		// fires for — never fewer.
+		if row.DetectedCombined < row.DetectedP1 || row.DetectedCombined < row.DetectedP2 {
+			t.Fatalf("combined detected fewer users: %+v", row)
+		}
+	}
+	// At native rate the combined detector is at least as fast on
+	// average as the faster single pattern (it fires at min of both).
+	native := r.Rows[0]
+	if native.DetectedCombined == 0 {
+		t.Fatal("combined never fired at native rate")
+	}
+	faster := native.MeanFractionP1
+	if native.MeanFractionP2 > 0 && (faster == 0 || native.MeanFractionP2 < faster) {
+		faster = native.MeanFractionP2
+	}
+	if native.MeanFractionCombined > faster+0.05 {
+		t.Fatalf("combined slower than the faster pattern: %+v", native)
+	}
+	if out := r.Render(); !strings.Contains(out, "comb det") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestAblationTracking(t *testing.T) {
+	l := mustLab(t, tinyConfig())
+	r, err := AblationTracking(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	byName := map[string]TrackingRow{}
+	for _, row := range r.Rows {
+		byName[row.Name] = row
+	}
+	raw := byName["raw"]
+	if raw.MeanTTC <= 0 {
+		t.Fatalf("raw mean TTC = %v", raw.MeanTTC)
+	}
+	// Coarsening to 1 km snaps users to shared grid points, so
+	// confusion happens sooner than on raw releases.
+	if c := byName["coarsen-1km"]; c.MeanTTC > raw.MeanTTC {
+		t.Fatalf("coarsening made tracking easier: %v vs %v", c.MeanTTC, raw.MeanTTC)
+	}
+	if out := r.Render(); !strings.Contains(out, "time to confusion") {
+		t.Fatalf("render:\n%s", out)
+	}
+}

@@ -1,0 +1,269 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation, plus the ablations DESIGN.md calls out. Each
+// driver returns a typed result with a Render method that prints the
+// same rows or series the paper reports.
+//
+// Heavy inputs (the simulated world, per-user ground-truth profiles,
+// the adversary's historical profiles) are built once per Lab and
+// shared across experiments; per-user work is fanned out over a
+// bounded worker pool.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"locwatch/internal/core"
+	"locwatch/internal/mobility"
+	"locwatch/internal/trace"
+)
+
+// Config parameterizes a Lab.
+type Config struct {
+	Mobility mobility.Config
+	Core     core.Params
+
+	// MarketSeed seeds the synthetic app market for §III / Table I /
+	// Figure 1.
+	MarketSeed int64
+
+	// Intervals is the background-access sweep used by Figures 3–5.
+	// Zero means the trace's native rate (the paper's "one access per
+	// second" end of the axis).
+	Intervals []time.Duration
+
+	// SensitiveMaxVisits is the PoI_sensitive threshold (paper: 3).
+	SensitiveMaxVisits int
+
+	// SplitFraction is the share of the simulated period whose data
+	// forms the adversary's historical profiles in Figure 5; the
+	// remainder is what apps collect. (The His_bin detector of Figure 4
+	// is user-side and compares against the full-period profile.)
+	SplitFraction float64
+
+	// Workers bounds experiment concurrency; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Default returns the paper-scale configuration: 182 users, 14 days,
+// the full interval sweep.
+func Default() Config {
+	return Config{
+		Mobility:   mobility.DefaultConfig(),
+		Core:       core.DefaultParams(),
+		MarketSeed: 1,
+		Intervals: []time.Duration{
+			0, 5 * time.Second, 10 * time.Second, 30 * time.Second,
+			time.Minute, 5 * time.Minute, 10 * time.Minute,
+			30 * time.Minute, 2 * time.Hour,
+		},
+		SensitiveMaxVisits: 3,
+		SplitFraction:      2.0 / 3.0,
+	}
+}
+
+// Quick returns a reduced configuration for benchmarks and smoke runs:
+// 24 users, 8 days, a four-point interval sweep. Shapes are preserved;
+// absolute counts shrink with the population.
+func Quick() Config {
+	cfg := Default()
+	cfg.Mobility.Users = 24
+	cfg.Mobility.Days = 8
+	cfg.Intervals = []time.Duration{0, time.Minute, 10 * time.Minute, 2 * time.Hour}
+	return cfg
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) validate() error {
+	if c.SplitFraction <= 0 || c.SplitFraction >= 1 {
+		return fmt.Errorf("experiments: split fraction %v outside (0, 1)", c.SplitFraction)
+	}
+	if c.SensitiveMaxVisits <= 0 {
+		return errors.New("experiments: sensitive-visit threshold must be positive")
+	}
+	if len(c.Intervals) == 0 {
+		return errors.New("experiments: empty interval sweep")
+	}
+	return nil
+}
+
+// Lab owns the shared experiment inputs.
+type Lab struct {
+	cfg   Config
+	world *mobility.World
+
+	mu       sync.Mutex
+	profiles []*core.Profile // full-period, native rate; nil until built
+	hist     []*core.Profile // training-window profiles for the adversary
+	totals   map[time.Duration][]int
+}
+
+// NewLab builds the simulated world (cheap; traces are generated
+// lazily).
+func NewLab(cfg Config) (*Lab, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	w, err := mobility.New(cfg.Mobility)
+	if err != nil {
+		return nil, err
+	}
+	return &Lab{cfg: cfg, world: w, totals: make(map[time.Duration][]int)}, nil
+}
+
+// Config returns the lab configuration.
+func (l *Lab) Config() Config { return l.cfg }
+
+// World returns the simulated city.
+func (l *Lab) World() *mobility.World { return l.world }
+
+// splitCut returns the instant separating the adversary's history from
+// the collection window.
+func (l *Lab) splitCut() time.Time {
+	days := float64(l.cfg.Mobility.Days) * l.cfg.SplitFraction
+	return l.cfg.Mobility.Start.Add(time.Duration(days * 24 * float64(time.Hour)))
+}
+
+// forEachUser fans fn out over all users with bounded workers and
+// returns the first error.
+func (l *Lab) forEachUser(fn func(id int) error) error {
+	n := l.world.NumUsers()
+	errs := make([]error, n)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < l.cfg.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for id := range jobs {
+				errs[id] = fn(id)
+			}
+		}()
+	}
+	for id := 0; id < n; id++ {
+		jobs <- id
+	}
+	close(jobs)
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Profiles returns the per-user ground-truth profiles (full period,
+// native rate), building them on first use.
+func (l *Lab) Profiles() ([]*core.Profile, error) {
+	l.mu.Lock()
+	if l.profiles != nil {
+		defer l.mu.Unlock()
+		return l.profiles, nil
+	}
+	l.mu.Unlock()
+
+	profiles := make([]*core.Profile, l.world.NumUsers())
+	err := l.forEachUser(func(id int) error {
+		src, err := l.world.Trace(id, 0)
+		if err != nil {
+			return err
+		}
+		p, err := core.BuildProfile(src, l.cfg.Mobility.CityCenter, l.cfg.Core)
+		if err != nil {
+			return fmt.Errorf("user %d: %w", id, err)
+		}
+		profiles[id] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.profiles == nil {
+		l.profiles = profiles
+	}
+	return l.profiles, nil
+}
+
+// HistoricalProfiles returns the adversary's training-window profiles.
+func (l *Lab) HistoricalProfiles() ([]*core.Profile, error) {
+	l.mu.Lock()
+	if l.hist != nil {
+		defer l.mu.Unlock()
+		return l.hist, nil
+	}
+	l.mu.Unlock()
+
+	cut := l.splitCut()
+	hist := make([]*core.Profile, l.world.NumUsers())
+	err := l.forEachUser(func(id int) error {
+		src, err := l.world.Trace(id, 0)
+		if err != nil {
+			return err
+		}
+		p, err := core.BuildProfile(trace.NewTimeWindow(src, time.Time{}, cut), l.cfg.Mobility.CityCenter, l.cfg.Core)
+		if err != nil {
+			return fmt.Errorf("user %d: %w", id, err)
+		}
+		hist[id] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.hist == nil {
+		l.hist = hist
+	}
+	return l.hist, nil
+}
+
+// pointTotals returns, per user, the number of fixes an app collecting
+// at the given interval would obtain over the full period. Cached.
+func (l *Lab) pointTotals(interval time.Duration) ([]int, error) {
+	l.mu.Lock()
+	if t, ok := l.totals[interval]; ok {
+		l.mu.Unlock()
+		return t, nil
+	}
+	l.mu.Unlock()
+
+	totals := make([]int, l.world.NumUsers())
+	err := l.forEachUser(func(id int) error {
+		src, err := l.world.Trace(id, interval)
+		if err != nil {
+			return err
+		}
+		n, err := trace.Count(src)
+		if err != nil {
+			return err
+		}
+		totals[id] = n
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.totals[interval]; !ok {
+		l.totals[interval] = totals
+	}
+	return l.totals[interval], nil
+}
+
+// intervalLabel renders an interval for table output; 0 is the native
+// GeoLife-style 1–5 s rate.
+func intervalLabel(iv time.Duration) string {
+	if iv == 0 {
+		return "native(1-5s)"
+	}
+	return iv.String()
+}

@@ -1,0 +1,394 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// beijing is near the GeoLife collection area; used as a realistic anchor.
+var beijing = LatLon{Lat: 39.9042, Lon: 116.4074}
+
+func TestDistanceKnownPairs(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q LatLon
+		want float64 // meters
+		tol  float64 // relative tolerance
+	}{
+		{"same point", beijing, beijing, 0, 0},
+		{"one degree latitude", LatLon{0, 0}, LatLon{1, 0}, 111195, 0.001},
+		{"one degree longitude at equator", LatLon{0, 0}, LatLon{0, 1}, 111195, 0.001},
+		{"beijing to shanghai", beijing, LatLon{31.2304, 121.4737}, 1067000, 0.01},
+		{"antipodal-ish", LatLon{0, 0}, LatLon{0, 180}, math.Pi * EarthRadius, 0.001},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Distance(tt.p, tt.q)
+			if tt.want == 0 {
+				if got != 0 {
+					t.Fatalf("Distance = %v, want 0", got)
+				}
+				return
+			}
+			if rel := math.Abs(got-tt.want) / tt.want; rel > tt.tol {
+				t.Fatalf("Distance = %v, want %v (rel err %v)", got, tt.want, rel)
+			}
+		})
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		p := LatLon{clampLat(lat1), clampLon(lon1)}
+		q := LatLon{clampLat(lat2), clampLon(lon2)}
+		d1 := Distance(p, q)
+		d2 := Distance(q, p)
+		return math.Abs(d1-d2) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceTriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		p := randomNearbyPoint(rng, beijing, 50000)
+		q := randomNearbyPoint(rng, beijing, 50000)
+		r := randomNearbyPoint(rng, beijing, 50000)
+		if Distance(p, r) > Distance(p, q)+Distance(q, r)+1e-6 {
+			t.Fatalf("triangle inequality violated: %v %v %v", p, q, r)
+		}
+	}
+}
+
+func TestDestinationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		bearing := rng.Float64() * 360
+		dist := rng.Float64() * 20000
+		q := Destination(beijing, bearing, dist)
+		got := Distance(beijing, q)
+		if math.Abs(got-dist) > 0.01 {
+			t.Fatalf("Destination/Distance mismatch: want %v got %v", dist, got)
+		}
+		if b := Bearing(beijing, q); dist > 1 && angularDiff(b, bearing) > 0.01 {
+			t.Fatalf("Bearing mismatch: want %v got %v", bearing, b)
+		}
+	}
+}
+
+func TestBearingCardinal(t *testing.T) {
+	tests := []struct {
+		name    string
+		bearing float64
+	}{
+		{"north", 0}, {"east", 90}, {"south", 180}, {"west", 270},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			q := Destination(beijing, tt.bearing, 1000)
+			if got := Bearing(beijing, q); angularDiff(got, tt.bearing) > 0.01 {
+				t.Fatalf("Bearing = %v, want %v", got, tt.bearing)
+			}
+		})
+	}
+}
+
+func TestMidpointEquidistant(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		p := randomNearbyPoint(rng, beijing, 30000)
+		q := randomNearbyPoint(rng, beijing, 30000)
+		m := Midpoint(p, q)
+		d1, d2 := Distance(p, m), Distance(m, q)
+		if math.Abs(d1-d2) > 1e-3 {
+			t.Fatalf("midpoint not equidistant: %v vs %v", d1, d2)
+		}
+	}
+}
+
+func TestInterpolateEndpoints(t *testing.T) {
+	p := beijing
+	q := Destination(beijing, 45, 5000)
+	if got := Interpolate(p, q, 0); got != p {
+		t.Fatalf("Interpolate(0) = %v, want %v", got, p)
+	}
+	if got := Interpolate(p, q, 1); got != q {
+		t.Fatalf("Interpolate(1) = %v, want %v", got, q)
+	}
+	if got := Interpolate(p, q, -0.5); got != p {
+		t.Fatalf("Interpolate(-0.5) = %v, want %v", got, p)
+	}
+	if got := Interpolate(p, q, 2); got != q {
+		t.Fatalf("Interpolate(2) = %v, want %v", got, q)
+	}
+	mid := Interpolate(p, q, 0.5)
+	d1, d2 := Distance(p, mid), Distance(mid, q)
+	if math.Abs(d1-d2) > 1 {
+		t.Fatalf("midpoint interpolation skewed: %v vs %v", d1, d2)
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	if got := Centroid(nil); !got.IsZero() {
+		t.Fatalf("Centroid(nil) = %v, want zero", got)
+	}
+	pts := []LatLon{{10, 20}, {12, 22}, {14, 24}}
+	want := LatLon{12, 22}
+	if got := Centroid(pts); math.Abs(got.Lat-want.Lat) > 1e-12 || math.Abs(got.Lon-want.Lon) > 1e-12 {
+		t.Fatalf("Centroid = %v, want %v", got, want)
+	}
+}
+
+func TestRunningCentroidMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var rc RunningCentroid
+	var pts []LatLon
+	for i := 0; i < 500; i++ {
+		p := randomNearbyPoint(rng, beijing, 1000)
+		pts = append(pts, p)
+		rc.Add(p)
+	}
+	want := Centroid(pts)
+	got := rc.Value()
+	if Distance(want, got) > 1e-6 {
+		t.Fatalf("running centroid %v != batch centroid %v", got, want)
+	}
+	if rc.N() != 500 {
+		t.Fatalf("N = %d, want 500", rc.N())
+	}
+}
+
+func TestRunningCentroidRemove(t *testing.T) {
+	var rc RunningCentroid
+	a := LatLon{10, 10}
+	b := LatLon{20, 20}
+	rc.Add(a)
+	rc.Add(b)
+	rc.Remove(a)
+	if got := rc.Value(); got != b {
+		t.Fatalf("after remove, Value = %v, want %v", got, b)
+	}
+	rc.Remove(b)
+	if rc.N() != 0 || !rc.Value().IsZero() {
+		t.Fatalf("after removing all, N=%d Value=%v", rc.N(), rc.Value())
+	}
+	rc.Remove(b) // removing from empty is a no-op
+	if rc.N() != 0 {
+		t.Fatalf("remove from empty changed N to %d", rc.N())
+	}
+}
+
+func TestRunningCentroidReset(t *testing.T) {
+	var rc RunningCentroid
+	rc.Add(LatLon{1, 2})
+	rc.Reset()
+	if rc.N() != 0 || !rc.Value().IsZero() {
+		t.Fatal("Reset did not clear centroid")
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	pts := []LatLon{{39.9, 116.3}, {39.95, 116.45}, {39.85, 116.35}}
+	b := NewBoundingBox(pts)
+	for _, p := range pts {
+		if !b.Contains(p) {
+			t.Fatalf("box does not contain its own point %v", p)
+		}
+	}
+	if b.Contains(LatLon{40.1, 116.4}) {
+		t.Fatal("box contains an outside point")
+	}
+	c := b.Center()
+	if c.Lat < b.MinLat || c.Lat > b.MaxLat || c.Lon < b.MinLon || c.Lon > b.MaxLon {
+		t.Fatalf("center %v outside box", c)
+	}
+	big := b.Expand(1000)
+	if !big.Contains(LatLon{b.MinLat - 0.005, b.MinLon}) {
+		t.Fatal("Expand(1000 m) did not grow the box by ~0.009 degrees of latitude")
+	}
+}
+
+func TestBoundingBoxEmpty(t *testing.T) {
+	b := NewBoundingBox(nil)
+	if b != (BoundingBox{}) {
+		t.Fatalf("empty box = %+v, want zero", b)
+	}
+}
+
+func TestProjectionRoundTrip(t *testing.T) {
+	pr := NewProjection(beijing)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		p := randomNearbyPoint(rng, beijing, 30000)
+		x, y := pr.ToXY(p)
+		q := pr.FromXY(x, y)
+		if Distance(p, q) > 1e-6 {
+			t.Fatalf("projection round trip moved point by %v m", Distance(p, q))
+		}
+	}
+}
+
+func TestProjectionPlanarDistanceAgreesWithHaversine(t *testing.T) {
+	pr := NewProjection(beijing)
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 300; i++ {
+		p := randomNearbyPoint(rng, beijing, 10000)
+		q := randomNearbyPoint(rng, beijing, 10000)
+		hd := Distance(p, q)
+		pd := pr.PlanarDistance(p, q)
+		if math.Abs(hd-pd) > math.Max(0.5, hd*0.001) {
+			t.Fatalf("planar %v vs haversine %v differ too much", pd, hd)
+		}
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	p := LatLon{39.123456789, 116.987654321}
+	tests := []struct {
+		digits int
+		lat    float64
+		lon    float64
+	}{
+		{0, 39, 116},
+		{2, 39.12, 116.98},
+		{4, 39.1234, 116.9876},
+		{-3, 39, 116},                   // clamped to 0
+		{12, 39.12345678, 116.98765432}, // clamped to 8
+	}
+	for _, tt := range tests {
+		got := Truncate(p, tt.digits)
+		if math.Abs(got.Lat-tt.lat) > 1e-9 || math.Abs(got.Lon-tt.lon) > 1e-9 {
+			t.Fatalf("Truncate(%d) = %v, want (%v, %v)", tt.digits, got, tt.lat, tt.lon)
+		}
+	}
+}
+
+func TestTruncateIdempotent(t *testing.T) {
+	f := func(lat, lon float64, digits int) bool {
+		p := LatLon{clampLat(lat), clampLon(lon)}
+		d := digits % 9
+		if d < 0 {
+			d = -d
+		}
+		once := Truncate(p, d)
+		twice := Truncate(once, d)
+		return once == twice
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapToGrid(t *testing.T) {
+	pr := NewProjection(beijing)
+	p := Destination(beijing, 30, 731)
+	snapped := pr.SnapToGrid(p, 100)
+	// Snapped point is at most half a cell diagonal away.
+	if d := Distance(p, snapped); d > 100*math.Sqrt2/2+0.01 {
+		t.Fatalf("snap moved point by %v m, more than half a cell diagonal", d)
+	}
+	// Snapping is idempotent.
+	again := pr.SnapToGrid(snapped, 100)
+	if Distance(snapped, again) > 1e-6 {
+		t.Fatal("SnapToGrid not idempotent")
+	}
+	// Non-positive cell size is a no-op.
+	if got := pr.SnapToGrid(p, 0); got != p {
+		t.Fatal("SnapToGrid(0) modified the point")
+	}
+}
+
+func TestSnapToGridBucketsNearbyPoints(t *testing.T) {
+	pr := NewProjection(beijing)
+	rng := rand.New(rand.NewSource(7))
+	// Anchor at an exact cell center so all nearby points share its cell.
+	center := pr.FromXY(4500, 2500)
+	snapCenter := pr.SnapToGrid(center, 1000)
+	same := 0
+	for i := 0; i < 100; i++ {
+		p := randomNearbyPoint(rng, center, 100)
+		if pr.SnapToGrid(p, 1000) == snapCenter {
+			same++
+		}
+	}
+	if same < 100 {
+		t.Fatalf("only %d/100 points within 100 m snapped to the same 1 km cell", same)
+	}
+}
+
+func TestValid(t *testing.T) {
+	tests := []struct {
+		p    LatLon
+		want bool
+	}{
+		{LatLon{0, 0}, true},
+		{LatLon{90, 180}, true},
+		{LatLon{-90, -180}, true},
+		{LatLon{91, 0}, false},
+		{LatLon{0, 181}, false},
+		{LatLon{math.NaN(), 0}, false},
+	}
+	for _, tt := range tests {
+		if got := tt.p.Valid(); got != tt.want {
+			t.Fatalf("Valid(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestNormalizeLon(t *testing.T) {
+	tests := []struct{ in, want float64 }{
+		{0, 0}, {179, 179}, {181, -179}, {-181, 179}, {360, 0}, {540, 180 - 360 + 180}, // 540 -> 180? see below
+	}
+	// 540 mod 360 = 180 -> normalizeLon maps 180 to -180.
+	tests[5].want = -180
+	for _, tt := range tests {
+		if got := normalizeLon(tt.in); math.Abs(got-tt.want) > 1e-9 {
+			t.Fatalf("normalizeLon(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+// --- helpers ---
+
+func clampLat(v float64) float64 {
+	return math.Mod(math.Abs(v), 80) // keep clear of the poles
+}
+
+func clampLon(v float64) float64 {
+	return math.Mod(math.Abs(v), 170)
+}
+
+func angularDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if d > 180 {
+		d = 360 - d
+	}
+	return d
+}
+
+func randomNearbyPoint(rng *rand.Rand, origin LatLon, radius float64) LatLon {
+	return Destination(origin, rng.Float64()*360, rng.Float64()*radius)
+}
+
+func BenchmarkDistance(b *testing.B) {
+	p := beijing
+	q := Destination(beijing, 45, 5000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Distance(p, q)
+	}
+}
+
+func BenchmarkPlanarDistance(b *testing.B) {
+	pr := NewProjection(beijing)
+	p := beijing
+	q := Destination(beijing, 45, 5000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = pr.PlanarDistance(p, q)
+	}
+}

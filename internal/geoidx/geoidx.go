@@ -1,0 +1,126 @@
+// Package geoidx provides a small spatial grid index over geographic
+// points. The privacy model uses it in two places:
+//
+//   - canonicalizing extracted stay points into named places (nearest
+//     registered place within a merge radius), and
+//   - quantizing raw coordinates into regions for the paper's
+//     pattern-1 ⟨region, visited times⟩ histogram.
+//
+// The index hashes points into square cells of a local tangent-plane
+// projection and searches the 3×3 cell neighborhood, which is exact as
+// long as the search radius does not exceed the cell size.
+package geoidx
+
+import (
+	"fmt"
+	"math"
+
+	"locwatch/internal/geo"
+)
+
+// Entry is a value stored in the index.
+type Entry struct {
+	ID  int
+	Pos geo.LatLon
+}
+
+// cellKey identifies a grid cell.
+type cellKey struct {
+	X, Y int
+}
+
+// Index is a grid-hashed point index. It is not safe for concurrent
+// mutation; experiments build one index per goroutine.
+type Index struct {
+	proj  *geo.Projection
+	cell  float64
+	cells map[cellKey][]Entry
+	n     int
+}
+
+// New returns an index anchored at origin with the given cell size in
+// meters. Queries with radius > cell are answered conservatively by
+// widening the scanned neighborhood.
+func New(origin geo.LatLon, cell float64) (*Index, error) {
+	if cell <= 0 || math.IsNaN(cell) {
+		return nil, fmt.Errorf("geoidx: cell size must be positive, got %v", cell)
+	}
+	return &Index{
+		proj:  geo.NewProjection(origin),
+		cell:  cell,
+		cells: make(map[cellKey][]Entry),
+	}, nil
+}
+
+// Len returns the number of entries.
+func (ix *Index) Len() int { return ix.n }
+
+// CellSize returns the configured cell size in meters.
+func (ix *Index) CellSize() float64 { return ix.cell }
+
+func (ix *Index) key(p geo.LatLon) cellKey {
+	x, y := ix.proj.ToXY(p)
+	return cellKey{X: int(math.Floor(x / ix.cell)), Y: int(math.Floor(y / ix.cell))}
+}
+
+// Add inserts an entry.
+func (ix *Index) Add(id int, pos geo.LatLon) {
+	k := ix.key(pos)
+	ix.cells[k] = append(ix.cells[k], Entry{ID: id, Pos: pos})
+	ix.n++
+}
+
+// Nearest returns the entry closest to p within radius meters and true,
+// or a zero Entry and false if none qualifies.
+func (ix *Index) Nearest(p geo.LatLon, radius float64) (Entry, bool) {
+	if radius <= 0 || ix.n == 0 {
+		return Entry{}, false
+	}
+	span := int(math.Ceil(radius/ix.cell)) + 1
+	center := ix.key(p)
+	best := Entry{}
+	bestDist := math.Inf(1)
+	for dx := -span; dx <= span; dx++ {
+		for dy := -span; dy <= span; dy++ {
+			for _, e := range ix.cells[cellKey{X: center.X + dx, Y: center.Y + dy}] {
+				d := ix.proj.PlanarDistance(p, e.Pos)
+				if d < bestDist {
+					best, bestDist = e, d
+				}
+			}
+		}
+	}
+	if bestDist <= radius {
+		return best, true
+	}
+	return Entry{}, false
+}
+
+// Within returns all entries within radius meters of p, in no
+// particular order.
+func (ix *Index) Within(p geo.LatLon, radius float64) []Entry {
+	if radius <= 0 || ix.n == 0 {
+		return nil
+	}
+	span := int(math.Ceil(radius/ix.cell)) + 1
+	center := ix.key(p)
+	var out []Entry
+	for dx := -span; dx <= span; dx++ {
+		for dy := -span; dy <= span; dy++ {
+			for _, e := range ix.cells[cellKey{X: center.X + dx, Y: center.Y + dy}] {
+				if ix.proj.PlanarDistance(p, e.Pos) <= radius {
+					out = append(out, e)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RegionID returns a stable string identifier for the grid cell
+// containing p — the paper's pattern-1 "region". Cells are squares of
+// the index cell size.
+func (ix *Index) RegionID(p geo.LatLon) string {
+	k := ix.key(p)
+	return fmt.Sprintf("r%d:%d", k.X, k.Y)
+}

@@ -1,0 +1,169 @@
+package geoidx
+
+import (
+	"math/rand"
+	"testing"
+
+	"locwatch/internal/geo"
+)
+
+var origin = geo.LatLon{Lat: 39.9042, Lon: 116.4074}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(origin, 0); err == nil {
+		t.Fatal("zero cell should error")
+	}
+	if _, err := New(origin, -5); err == nil {
+		t.Fatal("negative cell should error")
+	}
+	ix, err := New(origin, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.CellSize() != 100 || ix.Len() != 0 {
+		t.Fatal("fresh index state wrong")
+	}
+}
+
+func TestNearestBasic(t *testing.T) {
+	ix, _ := New(origin, 200)
+	a := geo.Destination(origin, 0, 50)
+	b := geo.Destination(origin, 90, 400)
+	ix.Add(1, a)
+	ix.Add(2, b)
+
+	got, ok := ix.Nearest(origin, 100)
+	if !ok || got.ID != 1 {
+		t.Fatalf("Nearest = %+v, %v; want ID 1", got, ok)
+	}
+	// b is 400 m away: not found within 100 m, found within 500 m.
+	got, ok = ix.Nearest(geo.Destination(origin, 90, 390), 100)
+	if !ok || got.ID != 2 {
+		t.Fatalf("Nearest near b = %+v, %v; want ID 2", got, ok)
+	}
+	if _, ok := ix.Nearest(geo.Destination(origin, 180, 5000), 100); ok {
+		t.Fatal("found an entry 5 km away within 100 m")
+	}
+}
+
+func TestNearestEmptyAndBadRadius(t *testing.T) {
+	ix, _ := New(origin, 100)
+	if _, ok := ix.Nearest(origin, 100); ok {
+		t.Fatal("empty index returned a hit")
+	}
+	ix.Add(1, origin)
+	if _, ok := ix.Nearest(origin, 0); ok {
+		t.Fatal("zero radius returned a hit")
+	}
+	if _, ok := ix.Nearest(origin, -1); ok {
+		t.Fatal("negative radius returned a hit")
+	}
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ix, _ := New(origin, 150)
+	type pt struct {
+		id  int
+		pos geo.LatLon
+	}
+	var all []pt
+	for i := 0; i < 300; i++ {
+		p := geo.Destination(origin, rng.Float64()*360, rng.Float64()*3000)
+		ix.Add(i, p)
+		all = append(all, pt{i, p})
+	}
+	proj := geo.NewProjection(origin)
+	for trial := 0; trial < 200; trial++ {
+		q := geo.Destination(origin, rng.Float64()*360, rng.Float64()*3000)
+		radius := rng.Float64()*400 + 10
+		bestID, bestD := -1, radius
+		for _, e := range all {
+			if d := proj.PlanarDistance(q, e.pos); d <= bestD {
+				bestID, bestD = e.id, d
+			}
+		}
+		got, ok := ix.Nearest(q, radius)
+		if bestID == -1 {
+			if ok {
+				t.Fatalf("trial %d: index found %+v, brute force found none", trial, got)
+			}
+			continue
+		}
+		if !ok {
+			t.Fatalf("trial %d: index found none, brute force found %d at %v m", trial, bestID, bestD)
+		}
+		if got.ID != bestID {
+			// Ties in distance are acceptable; check distances agree.
+			if d := proj.PlanarDistance(q, got.Pos); d > bestD+1e-9 {
+				t.Fatalf("trial %d: index ID %d at %v m, brute force ID %d at %v m",
+					trial, got.ID, d, bestID, bestD)
+			}
+		}
+	}
+}
+
+func TestWithinMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	ix, _ := New(origin, 100)
+	var pts []geo.LatLon
+	for i := 0; i < 200; i++ {
+		p := geo.Destination(origin, rng.Float64()*360, rng.Float64()*2000)
+		ix.Add(i, p)
+		pts = append(pts, p)
+	}
+	proj := geo.NewProjection(origin)
+	for trial := 0; trial < 100; trial++ {
+		q := geo.Destination(origin, rng.Float64()*360, rng.Float64()*2000)
+		radius := rng.Float64()*500 + 1
+		want := 0
+		for _, p := range pts {
+			if proj.PlanarDistance(q, p) <= radius {
+				want++
+			}
+		}
+		if got := len(ix.Within(q, radius)); got != want {
+			t.Fatalf("trial %d: Within found %d, brute force %d", trial, got, want)
+		}
+	}
+	if ix.Within(origin, 0) != nil {
+		t.Fatal("zero radius should return nil")
+	}
+}
+
+func TestRegionIDStability(t *testing.T) {
+	ix, _ := New(origin, 1000)
+	id1 := ix.RegionID(origin)
+	id2 := ix.RegionID(geo.Destination(origin, 45, 10))
+	if id1 != id2 {
+		t.Fatalf("nearby points in different regions: %s vs %s", id1, id2)
+	}
+	far := ix.RegionID(geo.Destination(origin, 45, 5000))
+	if far == id1 {
+		t.Fatal("distant point mapped to the same region")
+	}
+}
+
+func TestLen(t *testing.T) {
+	ix, _ := New(origin, 100)
+	for i := 0; i < 10; i++ {
+		ix.Add(i, origin)
+	}
+	if ix.Len() != 10 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+}
+
+func BenchmarkNearest(b *testing.B) {
+	rng := rand.New(rand.NewSource(44))
+	ix, _ := New(origin, 100)
+	for i := 0; i < 10000; i++ {
+		ix.Add(i, geo.Destination(origin, rng.Float64()*360, rng.Float64()*10000))
+	}
+	q := geo.Destination(origin, 123, 5000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Nearest(q, 80)
+	}
+}

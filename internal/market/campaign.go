@@ -1,0 +1,386 @@
+package market
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"locwatch/internal/android"
+	"locwatch/internal/geo"
+	"locwatch/internal/stats"
+)
+
+// Observation is what the campaign learns about one app by running it
+// on a device and reading dumpsys — never by peeking at the spec.
+type Observation struct {
+	Package  string
+	Category string
+
+	DeclaresFine   bool
+	DeclaresCoarse bool
+
+	Functional  bool // registered at least one listener
+	AutoRequest bool // registered without a user trigger
+	Background  bool // still held a listener after Home()
+
+	Providers []android.Provider // distinct providers, sorted
+	Interval  time.Duration      // listener minTime (minimum across listeners)
+
+	UsesPrecise bool // delivered at least one fine-granularity fix
+	UsesCoarse  bool // delivered at least one coarse fix
+}
+
+// ProviderCombo renders the provider set as a stable key, e.g.
+// "gps network".
+func (o Observation) ProviderCombo() string {
+	names := make([]string, len(o.Providers))
+	for i, p := range o.Providers {
+		names[i] = p.String()
+	}
+	return strings.Join(names, " ")
+}
+
+// GranularityClass returns the Table I row key for the app's declared
+// permissions.
+func (o Observation) GranularityClass() string {
+	switch {
+	case o.DeclaresFine && o.DeclaresCoarse:
+		return "fine&coarse"
+	case o.DeclaresFine:
+		return "fine"
+	case o.DeclaresCoarse:
+		return "coarse"
+	default:
+		return "none"
+	}
+}
+
+// Campaign drives the measurement protocol: static manifest extraction
+// over the whole market, then the manual-operation protocol (install,
+// launch, trigger, background, close) on a simulated device for every
+// app that declares a location permission.
+type Campaign struct {
+	// Workers bounds the concurrent devices; defaults to GOMAXPROCS.
+	Workers int
+	// Observe is how long the campaign watches the app in each phase.
+	// Defaults to 2 minutes of simulated time.
+	Observe time.Duration
+	// Pos is where the test device sits. Defaults to the Beijing anchor.
+	Pos geo.LatLon
+}
+
+// Run executes the campaign over the market and returns one
+// observation per location-declaring app, ordered by package name.
+func (c Campaign) Run(m *Market) ([]Observation, error) {
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	observe := c.Observe
+	if observe <= 0 {
+		observe = 2 * time.Minute
+	}
+	pos := c.Pos
+	if pos.IsZero() {
+		pos = geo.LatLon{Lat: 39.9042, Lon: 116.4074}
+	}
+
+	// Static pass: keep only apps whose manifest declares location.
+	var declaring []android.AppSpec
+	for _, spec := range m.Specs() {
+		apk, ok := m.APK(spec.Package)
+		if !ok {
+			return nil, fmt.Errorf("market: no apk for %s", spec.Package)
+		}
+		manifest, err := ExtractManifest(apk)
+		if err != nil {
+			return nil, fmt.Errorf("market: %s: %w", spec.Package, err)
+		}
+		if manifest.DeclaresLocation() {
+			declaring = append(declaring, spec)
+		}
+	}
+
+	// Dynamic pass, one fresh device per app, fanned out over workers.
+	obs := make([]Observation, len(declaring))
+	errs := make([]error, len(declaring))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				obs[i], errs[i] = c.measureOne(declaring[i], observe, pos)
+			}
+		}()
+	}
+	for i := range declaring {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("market: measuring %s: %w", declaring[i].Package, err)
+		}
+	}
+	sort.Slice(obs, func(i, j int) bool { return obs[i].Package < obs[j].Package })
+	return obs, nil
+}
+
+// measureOne runs the manual protocol on a fresh device.
+func (c Campaign) measureOne(spec android.AppSpec, observe time.Duration, pos geo.LatLon) (Observation, error) {
+	start := time.Date(2026, 7, 1, 10, 0, 0, 0, time.UTC)
+	dev := android.NewDevice(start, pos)
+
+	// A real handset's location stack is never idle: system services
+	// keep a low-rate fused request alive, which is what passive-only
+	// apps piggyback on. Without it they would never receive a fix.
+	system := android.AppSpec{
+		Package:     "com.android.locationservice",
+		Permissions: []android.Permission{android.PermFine, android.PermCoarse},
+		Behavior: android.Behavior{
+			UsesLocation: true,
+			AutoRequest:  true,
+			Providers:    []android.Provider{android.GPS},
+			Interval:     30 * time.Second,
+			Background:   true,
+		},
+	}
+	if _, err := dev.Install(system); err != nil {
+		return Observation{}, err
+	}
+	if err := dev.Launch(system.Package); err != nil {
+		return Observation{}, err
+	}
+	dev.Home()
+
+	app, err := dev.Install(spec)
+	if err != nil {
+		return Observation{}, err
+	}
+	o := Observation{
+		Package:        spec.Package,
+		Category:       spec.Category,
+		DeclaresFine:   spec.DeclaresFine(),
+		DeclaresCoarse: spec.DeclaresCoarse(),
+	}
+
+	// Launch and watch.
+	if err := dev.Launch(spec.Package); err != nil {
+		return Observation{}, err
+	}
+	dev.Advance(observe)
+	rep, err := android.ParseDumpsys(dev.Dumpsys())
+	if err != nil {
+		return Observation{}, err
+	}
+	if len(rep.ListenersOf(spec.Package)) > 0 {
+		o.Functional = true
+		o.AutoRequest = true
+	} else {
+		// Operate the app like a user would and look again.
+		if err := dev.Trigger(spec.Package); err != nil {
+			return Observation{}, err
+		}
+		dev.Advance(observe)
+		rep, err = android.ParseDumpsys(dev.Dumpsys())
+		if err != nil {
+			return Observation{}, err
+		}
+		if len(rep.ListenersOf(spec.Package)) > 0 {
+			o.Functional = true
+		}
+	}
+
+	// Background the app and watch whether the listeners survive.
+	dev.Home()
+	dev.Advance(observe)
+	rep, err = android.ParseDumpsys(dev.Dumpsys())
+	if err != nil {
+		return Observation{}, err
+	}
+	bgListeners := rep.ListenersOf(spec.Package)
+	if len(bgListeners) > 0 {
+		o.Background = true
+		seen := map[android.Provider]bool{}
+		minIv := time.Duration(-1)
+		for _, l := range bgListeners {
+			if l.State != android.StateBackground {
+				return Observation{}, fmt.Errorf("market: backgrounded app listener in state %v", l.State)
+			}
+			if !seen[l.Provider] {
+				seen[l.Provider] = true
+				o.Providers = append(o.Providers, l.Provider)
+			}
+			if minIv < 0 || l.MinTime < minIv {
+				minIv = l.MinTime
+			}
+		}
+		sort.Slice(o.Providers, func(i, j int) bool { return o.Providers[i] < o.Providers[j] })
+		o.Interval = minIv
+	}
+
+	// Granularity, from the fixes the app actually received.
+	for _, f := range app.Fixes() {
+		if f.Coarse {
+			o.UsesCoarse = true
+		} else {
+			o.UsesPrecise = true
+		}
+	}
+
+	if err := dev.Close(spec.Package); err != nil {
+		return Observation{}, err
+	}
+	return o, nil
+}
+
+// Report aggregates campaign observations into the paper's §III
+// numbers, Table I, and the Figure 1 interval sample.
+type Report struct {
+	TotalApps int
+	Declaring int
+
+	FineOnly   int
+	CoarseOnly int
+	BothPerms  int
+
+	Functional  int
+	AutoRequest int
+
+	Background     int
+	AutoBackground int
+
+	BgUsesPrecise  int // background apps that received precise fixes
+	BgCoarseOnly   int // background apps that only ever saw coarse fixes
+	BgCoarseOfFine int // ... of those, the ones that had declared fine
+
+	// TableI maps granularity class → provider combo → count over the
+	// background apps.
+	TableI map[string]map[string]int
+
+	// Intervals holds one background-access interval per background app.
+	Intervals []time.Duration
+}
+
+// Aggregate builds the report from observations. totalApps is the size
+// of the scraped market (observations only cover declaring apps).
+func Aggregate(obs []Observation, totalApps int) *Report {
+	r := &Report{
+		TotalApps: totalApps,
+		Declaring: len(obs),
+		TableI:    make(map[string]map[string]int),
+	}
+	for _, o := range obs {
+		switch {
+		case o.DeclaresFine && o.DeclaresCoarse:
+			r.BothPerms++
+		case o.DeclaresFine:
+			r.FineOnly++
+		case o.DeclaresCoarse:
+			r.CoarseOnly++
+		}
+		if o.Functional {
+			r.Functional++
+		}
+		if o.AutoRequest {
+			r.AutoRequest++
+		}
+		if !o.Background {
+			continue
+		}
+		r.Background++
+		if o.AutoRequest {
+			r.AutoBackground++
+		}
+		if o.UsesPrecise {
+			r.BgUsesPrecise++
+		} else if o.UsesCoarse {
+			r.BgCoarseOnly++
+			if o.DeclaresFine {
+				r.BgCoarseOfFine++
+			}
+		}
+		row := o.GranularityClass()
+		if r.TableI[row] == nil {
+			r.TableI[row] = make(map[string]int)
+		}
+		r.TableI[row][o.ProviderCombo()]++
+		r.Intervals = append(r.Intervals, o.Interval)
+	}
+	return r
+}
+
+// IntervalECDF returns the Figure 1 CDF over background intervals in
+// seconds.
+func (r *Report) IntervalECDF() *stats.ECDF {
+	sample := make([]float64, len(r.Intervals))
+	for i, iv := range r.Intervals {
+		sample[i] = iv.Seconds()
+	}
+	return stats.NewECDF(sample)
+}
+
+// RenderSectionIII prints the headline counts in the order the paper
+// reports them.
+func (r *Report) RenderSectionIII() string {
+	var b strings.Builder
+	pct := func(n, of int) float64 {
+		if of == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(of)
+	}
+	fmt.Fprintf(&b, "apps scraped:                  %d (%d categories × %d)\n", r.TotalApps, len(Categories), AppsPerCategory)
+	fmt.Fprintf(&b, "declare location permission:   %d (%.1f%%)\n", r.Declaring, pct(r.Declaring, r.TotalApps))
+	fmt.Fprintf(&b, "  fine only:                   %d (%.0f%%)\n", r.FineOnly, pct(r.FineOnly, r.Declaring))
+	fmt.Fprintf(&b, "  coarse only:                 %d (%.0f%%)\n", r.CoarseOnly, pct(r.CoarseOnly, r.Declaring))
+	fmt.Fprintf(&b, "  both:                        %d (%.0f%%)\n", r.BothPerms, pct(r.BothPerms, r.Declaring))
+	fmt.Fprintf(&b, "actually access location:      %d\n", r.Functional)
+	fmt.Fprintf(&b, "  auto-request at launch:      %d\n", r.AutoRequest)
+	fmt.Fprintf(&b, "access location in background: %d (%.1f%% of functional)\n", r.Background, pct(r.Background, r.Functional))
+	fmt.Fprintf(&b, "  auto-request at launch:      %d\n", r.AutoBackground)
+	fmt.Fprintf(&b, "  receive precise fixes:       %d (%.1f%%)\n", r.BgUsesPrecise, pct(r.BgUsesPrecise, r.Background))
+	fmt.Fprintf(&b, "  coarse despite fine perm:    %d (%.1f%%)\n", r.BgCoarseOfFine, pct(r.BgCoarseOfFine, r.Background))
+	return b.String()
+}
+
+// tableIColumns is the paper's column order.
+var tableIColumns = []string{
+	"gps", "network", "passive",
+	"gps network", "gps passive", "network passive",
+	"gps network passive", "network fused",
+}
+
+// RenderTableI prints the provider-usage table in the paper's layout.
+func (r *Report) RenderTableI() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s", "Granularity")
+	for _, col := range tableIColumns {
+		fmt.Fprintf(&b, " %19s", col)
+	}
+	fmt.Fprintln(&b)
+	for _, row := range []string{"fine", "coarse", "fine&coarse"} {
+		fmt.Fprintf(&b, "%-14s", row)
+		for _, col := range tableIColumns {
+			fmt.Fprintf(&b, " %19d", r.TableI[row][col])
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// RenderFigure1 prints the interval CDF at the paper's cut points.
+func (r *Report) RenderFigure1() string {
+	e := r.IntervalECDF()
+	var b strings.Builder
+	b.WriteString("Figure 1: CDF of background location-request intervals\n")
+	b.WriteString(e.Table("interval(s)", []float64{1, 2, 5, 10, 30, 60, 120, 300, 600, 1800, 3600, 7200}))
+	fmt.Fprintf(&b, "max interval: %gs\n", e.Max())
+	return b.String()
+}

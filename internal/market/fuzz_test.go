@@ -1,0 +1,39 @@
+package market
+
+import (
+	"testing"
+
+	"locwatch/internal/android"
+)
+
+// FuzzExtractManifest checks the manifest parser never panics and that
+// every blob the encoder produces is accepted.
+func FuzzExtractManifest(f *testing.F) {
+	f.Add([]byte("<manifest package=\"a\" category=\"b\">\n</manifest>"))
+	f.Add([]byte(""))
+	f.Add(EncodeAPK(android.AppSpec{
+		Package:     "com.f.z",
+		Category:    "TOOLS",
+		Permissions: []android.Permission{android.PermFine},
+	}))
+	f.Add([]byte("<manifest package=\"\">"))
+	f.Add([]byte("<uses-permission android:name=\"x\"/>"))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		m, err := ExtractManifest(in)
+		if err != nil {
+			return
+		}
+		if m.Package == "" {
+			t.Fatal("accepted manifest without package")
+		}
+		// Whatever parses must re-encode and re-parse stably.
+		spec := android.AppSpec{Package: m.Package, Category: m.Category, Permissions: m.Permissions}
+		again, err := ExtractManifest(EncodeAPK(spec))
+		if err != nil {
+			t.Fatalf("re-parse of encoded manifest: %v", err)
+		}
+		if again.Package != m.Package || len(again.Permissions) != len(m.Permissions) {
+			t.Fatalf("round trip drifted: %+v vs %+v", again, m)
+		}
+	})
+}

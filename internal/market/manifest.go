@@ -1,0 +1,138 @@
+package market
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+
+	"locwatch/internal/android"
+)
+
+// This file is the study's "apktool" step: apps ship as packaged
+// manifest blobs, and static analysis can recover exactly what a real
+// manifest exposes — the package identity and the declared permissions.
+// Runtime behaviour (which providers, what interval, background or
+// not) is deliberately NOT in the manifest; only the dynamic campaign
+// can observe it, which is why over-privilege is invisible statically.
+
+// ErrBadManifest wraps manifest parse failures.
+var ErrBadManifest = errors.New("market: malformed manifest")
+
+// Manifest is the statically visible part of an app.
+type Manifest struct {
+	Package     string
+	Category    string
+	Permissions []android.Permission
+}
+
+// DeclaresLocation reports whether any location permission is declared.
+func (m Manifest) DeclaresLocation() bool { return len(m.Permissions) > 0 }
+
+// DeclaresFine reports whether ACCESS_FINE_LOCATION is declared.
+func (m Manifest) DeclaresFine() bool {
+	for _, p := range m.Permissions {
+		if p == android.PermFine {
+			return true
+		}
+	}
+	return false
+}
+
+// DeclaresCoarse reports whether ACCESS_COARSE_LOCATION is declared.
+func (m Manifest) DeclaresCoarse() bool {
+	for _, p := range m.Permissions {
+		if p == android.PermCoarse {
+			return true
+		}
+	}
+	return false
+}
+
+// EncodeAPK packages an app spec into its downloadable blob: an
+// AndroidManifest.xml-style document.
+func EncodeAPK(spec android.AppSpec) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "<manifest package=%q category=%q>\n", spec.Package, spec.Category)
+	for _, p := range spec.Permissions {
+		fmt.Fprintf(&b, "  <uses-permission android:name=%q/>\n", p.String())
+	}
+	fmt.Fprintf(&b, "  <application/>\n")
+	fmt.Fprintf(&b, "</manifest>\n")
+	return b.Bytes()
+}
+
+// ExtractManifest parses a packaged blob back into its manifest — the
+// reverse-engineering step of the pipeline.
+func ExtractManifest(apk []byte) (Manifest, error) {
+	var m Manifest
+	sc := bufio.NewScanner(bytes.NewReader(apk))
+	sawRoot := false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "<manifest "):
+			sawRoot = true
+			pkg, ok := attr(line, "package")
+			if !ok || !validPackageName(pkg) {
+				return Manifest{}, fmt.Errorf("%w: missing or invalid package attribute %q", ErrBadManifest, pkg)
+			}
+			m.Package = pkg
+			m.Category, _ = attr(line, "category")
+		case strings.HasPrefix(line, "<uses-permission"):
+			name, ok := attr(line, "android:name")
+			if !ok {
+				return Manifest{}, fmt.Errorf("%w: uses-permission without name", ErrBadManifest)
+			}
+			switch name {
+			case android.PermFine.String():
+				m.Permissions = append(m.Permissions, android.PermFine)
+			case android.PermCoarse.String():
+				m.Permissions = append(m.Permissions, android.PermCoarse)
+				// Unknown permissions are ignored, as the study only
+				// cares about location.
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Manifest{}, fmt.Errorf("market: read manifest: %w", err)
+	}
+	if !sawRoot {
+		return Manifest{}, fmt.Errorf("%w: no <manifest> element", ErrBadManifest)
+	}
+	return m, nil
+}
+
+// validPackageName enforces Android's package-name grammar (letters,
+// digits, underscores and dots), which also guarantees the name
+// round-trips through encoding without escaping.
+func validPackageName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z',
+			r >= '0' && r <= '9', r == '_', r == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// attr extracts a quoted attribute value from a tag line.
+func attr(line, name string) (string, bool) {
+	marker := name + `="`
+	i := strings.Index(line, marker)
+	if i < 0 {
+		return "", false
+	}
+	rest := line[i+len(marker):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return "", false
+	}
+	return rest[:j], true
+}

@@ -1,0 +1,323 @@
+// Package market generates the synthetic app market the measurement
+// campaign runs against, standing in for the top-100 apps of the 28
+// Google Play categories the paper downloaded (2,800 APKs in total).
+//
+// Generation is quota-exact: the §III aggregates (1,137 apps declaring
+// a location permission; 17% / 16% / 67% fine / coarse / both; 528
+// functional; 393 auto-requesting; 102 background accessors of which 85
+// auto-start; the Table I provider×granularity counts; and the Figure 1
+// interval CDF with its 57.8% ≤ 10 s knee and single 7,200 s outlier)
+// are baked into the population, and the measurement pipeline —
+// manifest extraction, device campaign, dumpsys parsing, aggregation —
+// re-derives them by observation.
+package market
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"locwatch/internal/android"
+)
+
+// Categories are the 28 Google Play categories of the study period.
+var Categories = []string{
+	"BOOKS_AND_REFERENCE", "BUSINESS", "COMICS", "COMMUNICATION",
+	"DATING", "EDUCATION", "ENTERTAINMENT", "FINANCE", "FOOD_AND_DRINK",
+	"GAME", "HEALTH_AND_FITNESS", "LIBRARIES_AND_DEMO", "LIFESTYLE",
+	"MAPS_AND_NAVIGATION", "MEDIA_AND_VIDEO", "MEDICAL", "MUSIC_AND_AUDIO",
+	"NEWS_AND_MAGAZINES", "PERSONALIZATION", "PHOTOGRAPHY", "PRODUCTIVITY",
+	"SHOPPING", "SOCIAL", "SPORTS", "TOOLS", "TRANSPORTATION",
+	"TRAVEL_AND_LOCAL", "WEATHER",
+}
+
+// AppsPerCategory is the top-N depth the study scraped.
+const AppsPerCategory = 100
+
+// Population quotas from §III of the paper.
+const (
+	totalApps       = 2800
+	declaringApps   = 1137
+	fineOnlyApps    = 193 // ≈17% of 1,137
+	coarseOnlyApps  = 182 // ≈16% of 1,137
+	bothPermApps    = 762 // ≈67% of 1,137
+	functionalApps  = 528
+	autoRequestApps = 393
+	backgroundApps  = 102
+	autoBackground  = 85
+	preferCoarseBg  = 28 // background apps using coarse despite fine permission
+)
+
+// tableIRow is one Table I cell: a declared-granularity class, a
+// provider combination, and how many background apps exhibit it.
+type tableIRow struct {
+	perms     []android.Permission
+	providers []android.Provider
+	count     int
+}
+
+// tableI reproduces the paper's Table I exactly (rows sum to 102).
+var tableI = []tableIRow{
+	// Fine-only declarations (row sum 18).
+	{perms: fine(), providers: prov(android.GPS), count: 7},
+	{perms: fine(), providers: prov(android.Network), count: 3},
+	{perms: fine(), providers: prov(android.Passive), count: 4},
+	{perms: fine(), providers: prov(android.GPS, android.Network), count: 2},
+	{perms: fine(), providers: prov(android.Network, android.Passive), count: 1},
+	{perms: fine(), providers: prov(android.GPS, android.Network, android.Passive), count: 1},
+	// Coarse-only declarations (row sum 6).
+	{perms: coarse(), providers: prov(android.Passive), count: 6},
+	// Fine & coarse declarations (row sum 78).
+	{perms: both(), providers: prov(android.GPS), count: 32},
+	{perms: both(), providers: prov(android.Network), count: 9},
+	{perms: both(), providers: prov(android.Passive), count: 7},
+	{perms: both(), providers: prov(android.GPS, android.Network), count: 14},
+	{perms: both(), providers: prov(android.GPS, android.Passive), count: 5},
+	{perms: both(), providers: prov(android.Network, android.Passive), count: 4},
+	{perms: both(), providers: prov(android.GPS, android.Network, android.Passive), count: 6},
+	{perms: both(), providers: prov(android.Fused, android.Network), count: 1},
+}
+
+func fine() []android.Permission {
+	return []android.Permission{android.PermFine}
+}
+func coarse() []android.Permission {
+	return []android.Permission{android.PermCoarse}
+}
+func both() []android.Permission {
+	return []android.Permission{android.PermFine, android.PermCoarse}
+}
+func prov(ps ...android.Provider) []android.Provider { return ps }
+
+// figure1Buckets reproduces the Figure 1 CDF: interval values (seconds)
+// and how many of the 102 background apps use each. Cumulative:
+// 59/102 = 57.8% ≤ 10 s, 70/102 = 68.6% ≤ 60 s, 85.3% ≤ 600 s, one
+// app at the 7,200 s maximum.
+var figure1Buckets = []struct {
+	seconds int
+	count   int
+}{
+	{1, 18}, {2, 13}, {5, 14}, {10, 14}, // 59 ≤ 10 s
+	{15, 3}, {30, 4}, {60, 4}, // 70 ≤ 60 s
+	{120, 5}, {300, 5}, {600, 7}, // 87 ≤ 600 s (83.8% knee is at 85.3% here)
+	{900, 6}, {1800, 5}, {3600, 3}, {7200, 1}, // tail, max 7,200 s
+}
+
+// Market is the generated app population.
+type Market struct {
+	specs []android.AppSpec
+	apks  map[string][]byte
+}
+
+// Generate builds the 2,800-app market deterministically from the
+// seed. The quota structure is fixed; the seed shuffles which category
+// slots receive which behaviour.
+func Generate(seed int64) (*Market, error) {
+	roles := buildRoles()
+	if len(roles) != totalApps {
+		return nil, fmt.Errorf("market: built %d roles, want %d", len(roles), totalApps)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(roles), func(i, j int) { roles[i], roles[j] = roles[j], roles[i] })
+
+	m := &Market{apks: make(map[string][]byte, totalApps)}
+	for i, role := range roles {
+		cat := Categories[i/AppsPerCategory]
+		spec := role
+		spec.Package = fmt.Sprintf("com.%s.app%03d", sanitize(cat), i%AppsPerCategory)
+		spec.Category = cat
+		m.specs = append(m.specs, spec)
+		m.apks[spec.Package] = EncodeAPK(spec)
+	}
+	return m, nil
+}
+
+// buildRoles constructs the exact app population (behaviour only;
+// package and category are assigned at shuffle time).
+func buildRoles() []android.AppSpec {
+	var roles []android.AppSpec
+	add := func(n int, spec android.AppSpec) {
+		for i := 0; i < n; i++ {
+			roles = append(roles, spec)
+		}
+	}
+
+	// Background accessors, straight from Table I with Figure 1
+	// intervals dealt across them in order; the first 85 auto-start.
+	intervals := figure1Intervals()
+	idx := 0
+	for _, row := range tableI {
+		for i := 0; i < row.count; i++ {
+			roles = append(roles, android.AppSpec{
+				Permissions: row.perms,
+				Behavior: android.Behavior{
+					UsesLocation: true,
+					AutoRequest:  idx < autoBackground,
+					Providers:    row.providers,
+					Interval:     intervals[idx],
+					Background:   true,
+				},
+			})
+			idx++
+		}
+	}
+	// The paper's 28 "coarse despite fine" apps: every fine-claiming
+	// app stuck on the network provider is necessarily one (the network
+	// provider is block-level), and further apps opt into coarse until
+	// the quota is met.
+	preferCoarseLeft := preferCoarseBg
+	for i := range roles {
+		if hasFine(roles[i].Permissions) && networkOnly(roles[i].Behavior.Providers) {
+			roles[i].Behavior.PreferCoarse = true
+			preferCoarseLeft--
+		}
+	}
+	for i := range roles {
+		if preferCoarseLeft == 0 {
+			break
+		}
+		if hasFine(roles[i].Permissions) && !roles[i].Behavior.PreferCoarse && i%3 == 0 {
+			roles[i].Behavior.PreferCoarse = true
+			preferCoarseLeft--
+		}
+	}
+	for i := range roles {
+		if preferCoarseLeft == 0 {
+			break
+		}
+		if hasFine(roles[i].Permissions) && !roles[i].Behavior.PreferCoarse {
+			roles[i].Behavior.PreferCoarse = true
+			preferCoarseLeft--
+		}
+	}
+
+	// Foreground-only functional apps: 528 − 102 = 426, of which
+	// 393 − 85 = 308 auto-request. Permission split fills the remainder
+	// of the declaring quotas proportionally.
+	fgFunctional := functionalApps - backgroundApps
+	fgAuto := autoRequestApps - autoBackground
+	fgIntervals := []time.Duration{
+		time.Second, 5 * time.Second, 30 * time.Second, time.Minute, 5 * time.Minute,
+	}
+	fgProviders := [][]android.Provider{
+		prov(android.GPS), prov(android.Network), prov(android.GPS, android.Network),
+		prov(android.Fused), prov(android.Passive),
+	}
+	// Coarse-only apps must stick to providers their permission admits.
+	coarseProviders := [][]android.Provider{
+		prov(android.Network), prov(android.Passive), prov(android.Fused),
+	}
+	for i := 0; i < fgFunctional; i++ {
+		perms := both()
+		providers := fgProviders[i%len(fgProviders)]
+		switch {
+		case i%7 == 0:
+			perms = fine()
+		case i%7 == 1:
+			perms = coarse()
+			providers = coarseProviders[i%len(coarseProviders)]
+		}
+		roles = append(roles, android.AppSpec{
+			Permissions: perms,
+			Behavior: android.Behavior{
+				UsesLocation: true,
+				AutoRequest:  i < fgAuto,
+				Providers:    providers,
+				Interval:     fgIntervals[i%len(fgIntervals)],
+				Background:   false,
+			},
+		})
+	}
+
+	// Over-privileged apps: declare location permissions, never use
+	// them. Counts chosen so the global fine/coarse/both split lands
+	// exactly on 193 / 182 / 762.
+	fineSoFar, coarseSoFar, bothSoFar := permCounts(roles)
+	add(fineOnlyApps-fineSoFar, android.AppSpec{Permissions: fine()})
+	add(coarseOnlyApps-coarseSoFar, android.AppSpec{Permissions: coarse()})
+	add(bothPermApps-bothSoFar, android.AppSpec{Permissions: both()})
+
+	// Apps with no location permission at all.
+	add(totalApps-len(roles), android.AppSpec{})
+	return roles
+}
+
+// figure1Intervals expands the Figure 1 buckets into one interval per
+// background app.
+func figure1Intervals() []time.Duration {
+	var out []time.Duration
+	for _, b := range figure1Buckets {
+		for i := 0; i < b.count; i++ {
+			out = append(out, time.Duration(b.seconds)*time.Second)
+		}
+	}
+	return out
+}
+
+// networkOnly reports whether the provider set contains nothing that
+// can deliver a fine fix.
+func networkOnly(ps []android.Provider) bool {
+	if len(ps) == 0 {
+		return false
+	}
+	for _, p := range ps {
+		if p != android.Network {
+			return false
+		}
+	}
+	return true
+}
+
+func hasFine(ps []android.Permission) bool {
+	for _, p := range ps {
+		if p == android.PermFine {
+			return true
+		}
+	}
+	return false
+}
+
+func permCounts(specs []android.AppSpec) (fineOnly, coarseOnly, bothPerms int) {
+	for _, s := range specs {
+		switch {
+		case s.DeclaresFine() && s.DeclaresCoarse():
+			bothPerms++
+		case s.DeclaresFine():
+			fineOnly++
+		case s.DeclaresCoarse():
+			coarseOnly++
+		}
+	}
+	return fineOnly, coarseOnly, bothPerms
+}
+
+func sanitize(cat string) string {
+	out := make([]rune, 0, len(cat))
+	for _, r := range cat {
+		switch {
+		case r >= 'A' && r <= 'Z':
+			out = append(out, r+('a'-'A'))
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+// Len returns the number of apps.
+func (m *Market) Len() int { return len(m.specs) }
+
+// Specs returns all app specs (the ground truth; the campaign is not
+// allowed to peek — it measures).
+func (m *Market) Specs() []android.AppSpec {
+	out := make([]android.AppSpec, len(m.specs))
+	copy(out, m.specs)
+	return out
+}
+
+// APK returns the packaged manifest blob of an app — what the
+// "download the apk and run apktool" step operates on.
+func (m *Market) APK(pkg string) ([]byte, bool) {
+	b, ok := m.apks[pkg]
+	return b, ok
+}

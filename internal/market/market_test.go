@@ -1,0 +1,344 @@
+package market
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"locwatch/internal/android"
+)
+
+func mustMarket(t testing.TB, seed int64) *Market {
+	t.Helper()
+	m, err := Generate(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestGenerateQuotas(t *testing.T) {
+	m := mustMarket(t, 1)
+	if m.Len() != 2800 {
+		t.Fatalf("market size = %d", m.Len())
+	}
+	specs := m.Specs()
+
+	var declaring, fineOnly, coarseOnly, bothPerm int
+	var functional, auto, background, autoBg, preferCoarse int
+	perCategory := map[string]int{}
+	for _, s := range specs {
+		perCategory[s.Category]++
+		if !s.DeclaresLocation() {
+			continue
+		}
+		declaring++
+		switch {
+		case s.DeclaresFine() && s.DeclaresCoarse():
+			bothPerm++
+		case s.DeclaresFine():
+			fineOnly++
+		default:
+			coarseOnly++
+		}
+		if s.Behavior.UsesLocation {
+			functional++
+			if s.Behavior.AutoRequest {
+				auto++
+			}
+			if s.Behavior.Background {
+				background++
+				if s.Behavior.AutoRequest {
+					autoBg++
+				}
+				if s.Behavior.PreferCoarse {
+					preferCoarse++
+				}
+			}
+		}
+	}
+	if declaring != 1137 {
+		t.Errorf("declaring = %d, want 1137", declaring)
+	}
+	if fineOnly != 193 || coarseOnly != 182 || bothPerm != 762 {
+		t.Errorf("permission split = %d/%d/%d, want 193/182/762", fineOnly, coarseOnly, bothPerm)
+	}
+	if functional != 528 {
+		t.Errorf("functional = %d, want 528", functional)
+	}
+	if auto != 393 {
+		t.Errorf("auto = %d, want 393", auto)
+	}
+	if background != 102 {
+		t.Errorf("background = %d, want 102", background)
+	}
+	if autoBg != 85 {
+		t.Errorf("auto background = %d, want 85", autoBg)
+	}
+	if preferCoarse != 28 {
+		t.Errorf("prefer-coarse = %d, want 28", preferCoarse)
+	}
+	if len(perCategory) != 28 {
+		t.Errorf("%d categories", len(perCategory))
+	}
+	for cat, n := range perCategory {
+		if n != 100 {
+			t.Errorf("category %s has %d apps", cat, n)
+		}
+	}
+}
+
+func TestGenerateDeterministicAndSeedSensitive(t *testing.T) {
+	a := mustMarket(t, 1).Specs()
+	b := mustMarket(t, 1).Specs()
+	for i := range a {
+		if a[i].Package != b[i].Package || a[i].Behavior.Interval != b[i].Behavior.Interval {
+			t.Fatal("same seed produced different markets")
+		}
+	}
+	c := mustMarket(t, 2).Specs()
+	same := true
+	for i := range a {
+		if a[i].Behavior.UsesLocation != c[i].Behavior.UsesLocation {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical layout")
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	spec := android.AppSpec{
+		Package:     "com.weather.app001",
+		Category:    "WEATHER",
+		Permissions: []android.Permission{android.PermFine, android.PermCoarse},
+	}
+	apk := EncodeAPK(spec)
+	man, err := ExtractManifest(apk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Package != spec.Package || man.Category != "WEATHER" {
+		t.Fatalf("manifest = %+v", man)
+	}
+	if !man.DeclaresFine() || !man.DeclaresCoarse() || !man.DeclaresLocation() {
+		t.Fatal("permissions lost in round trip")
+	}
+}
+
+func TestManifestDoesNotLeakBehavior(t *testing.T) {
+	// The manifest must not reveal runtime behaviour — over-privilege
+	// is invisible statically, exactly as on real Android.
+	spec := android.AppSpec{
+		Package:     "com.x",
+		Permissions: []android.Permission{android.PermFine},
+		Behavior: android.Behavior{
+			UsesLocation: true, Background: true,
+			Providers: []android.Provider{android.GPS}, Interval: time.Second,
+		},
+	}
+	apk := string(EncodeAPK(spec))
+	for _, needle := range []string{"gps", "background", "interval", "1s"} {
+		if strings.Contains(strings.ToLower(apk), needle) {
+			t.Fatalf("manifest leaks behaviour (%q):\n%s", needle, apk)
+		}
+	}
+}
+
+func TestExtractManifestErrors(t *testing.T) {
+	if _, err := ExtractManifest([]byte("not a manifest")); !errors.Is(err, ErrBadManifest) {
+		t.Fatalf("garbage: %v", err)
+	}
+	if _, err := ExtractManifest([]byte("<manifest category=\"X\">\n</manifest>")); !errors.Is(err, ErrBadManifest) {
+		t.Fatalf("missing package: %v", err)
+	}
+	if _, err := ExtractManifest([]byte("<manifest package=\"a\">\n  <uses-permission/>\n</manifest>")); !errors.Is(err, ErrBadManifest) {
+		t.Fatalf("permission without name: %v", err)
+	}
+	// Unknown permissions are ignored.
+	man, err := ExtractManifest([]byte("<manifest package=\"a\" category=\"b\">\n  <uses-permission android:name=\"android.permission.CAMERA\"/>\n</manifest>"))
+	if err != nil || man.DeclaresLocation() {
+		t.Fatalf("unknown permission handling: %+v, %v", man, err)
+	}
+}
+
+func TestAPKStorage(t *testing.T) {
+	m := mustMarket(t, 1)
+	specs := m.Specs()
+	apk, ok := m.APK(specs[0].Package)
+	if !ok || !bytes.Contains(apk, []byte(specs[0].Package)) {
+		t.Fatal("APK lookup broken")
+	}
+	if _, ok := m.APK("com.not.there"); ok {
+		t.Fatal("phantom APK")
+	}
+}
+
+// TestCampaignReproducesSectionIII is the §III regeneration test: run
+// the full pipeline and compare every number against the paper.
+func TestCampaignReproducesSectionIII(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign in -short mode")
+	}
+	m := mustMarket(t, 1)
+	obs, err := Campaign{Observe: time.Minute}.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Aggregate(obs, m.Len())
+
+	if r.Declaring != 1137 {
+		t.Errorf("observed declaring = %d, want 1137", r.Declaring)
+	}
+	if r.FineOnly != 193 || r.CoarseOnly != 182 || r.BothPerms != 762 {
+		t.Errorf("observed split = %d/%d/%d", r.FineOnly, r.CoarseOnly, r.BothPerms)
+	}
+	if r.Functional != 528 {
+		t.Errorf("observed functional = %d, want 528", r.Functional)
+	}
+	if r.AutoRequest != 393 {
+		t.Errorf("observed auto = %d, want 393", r.AutoRequest)
+	}
+	if r.Background != 102 {
+		t.Errorf("observed background = %d, want 102", r.Background)
+	}
+	if r.AutoBackground != 85 {
+		t.Errorf("observed auto background = %d, want 85", r.AutoBackground)
+	}
+	if r.BgUsesPrecise != 68 {
+		t.Errorf("observed precise = %d, want 68", r.BgUsesPrecise)
+	}
+	if r.BgCoarseOfFine != 28 {
+		t.Errorf("observed coarse-despite-fine = %d, want 28", r.BgCoarseOfFine)
+	}
+
+	// Table I, row by row.
+	wantTable := map[string]map[string]int{
+		"fine": {
+			"gps": 7, "network": 3, "passive": 4, "gps network": 2,
+			"network passive": 1, "gps network passive": 1,
+		},
+		"coarse": {"passive": 6},
+		"fine&coarse": {
+			"gps": 32, "network": 9, "passive": 7, "gps network": 14,
+			"gps passive": 5, "network passive": 4, "gps network passive": 6,
+			"network fused": 1,
+		},
+	}
+	for row, cols := range wantTable {
+		for col, want := range cols {
+			if got := r.TableI[row][col]; got != want {
+				t.Errorf("Table I [%s][%s] = %d, want %d", row, col, got, want)
+			}
+		}
+	}
+	// No unexpected cells.
+	for row, cols := range r.TableI {
+		for col, got := range cols {
+			if wantTable[row][col] != got {
+				t.Errorf("unexpected Table I cell [%s][%s] = %d", row, col, got)
+			}
+		}
+	}
+
+	// Figure 1 CDF knees.
+	e := r.IntervalECDF()
+	checks := []struct {
+		at   float64
+		want float64
+	}{
+		{10, 0.578}, {60, 0.686}, {600, 0.853},
+	}
+	for _, c := range checks {
+		if got := e.At(c.at); math.Abs(got-c.want) > 0.005 {
+			t.Errorf("CDF(%gs) = %.3f, want %.3f", c.at, got, c.want)
+		}
+	}
+	if e.Max() != 7200 {
+		t.Errorf("max interval = %g, want 7200", e.Max())
+	}
+
+	// Rendered artifacts contain the headline figures.
+	s3 := r.RenderSectionIII()
+	for _, needle := range []string{"1137", "528", "102", "85"} {
+		if !strings.Contains(s3, needle) {
+			t.Errorf("section III rendering missing %q:\n%s", needle, s3)
+		}
+	}
+	tbl := r.RenderTableI()
+	if !strings.Contains(tbl, "fine&coarse") || !strings.Contains(tbl, "32") {
+		t.Errorf("table rendering:\n%s", tbl)
+	}
+	fig := r.RenderFigure1()
+	if !strings.Contains(fig, "0.578") {
+		t.Errorf("figure 1 rendering:\n%s", fig)
+	}
+}
+
+func TestCampaignObservationConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign in -short mode")
+	}
+	m := mustMarket(t, 3)
+	obs, err := Campaign{Observe: time.Minute, Workers: 4}.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specByPkg := map[string]android.AppSpec{}
+	for _, s := range m.Specs() {
+		specByPkg[s.Package] = s
+	}
+	for _, o := range obs {
+		spec := specByPkg[o.Package]
+		if o.Functional != spec.Behavior.UsesLocation {
+			t.Fatalf("%s: functional observed %v, truth %v", o.Package, o.Functional, spec.Behavior.UsesLocation)
+		}
+		if o.Background != (spec.Behavior.UsesLocation && spec.Behavior.Background) {
+			t.Fatalf("%s: background observed %v", o.Package, o.Background)
+		}
+		if o.Background && o.Interval != spec.Behavior.Interval {
+			t.Fatalf("%s: interval observed %v, truth %v", o.Package, o.Interval, spec.Behavior.Interval)
+		}
+	}
+}
+
+func TestObservationHelpers(t *testing.T) {
+	o := Observation{
+		DeclaresFine: true,
+		Providers:    []android.Provider{android.GPS, android.Network},
+	}
+	if o.ProviderCombo() != "gps network" {
+		t.Fatalf("combo = %q", o.ProviderCombo())
+	}
+	if o.GranularityClass() != "fine" {
+		t.Fatalf("class = %q", o.GranularityClass())
+	}
+	o.DeclaresCoarse = true
+	if o.GranularityClass() != "fine&coarse" {
+		t.Fatalf("class = %q", o.GranularityClass())
+	}
+	o.DeclaresFine = false
+	if o.GranularityClass() != "coarse" {
+		t.Fatalf("class = %q", o.GranularityClass())
+	}
+	o.DeclaresCoarse = false
+	if o.GranularityClass() != "none" {
+		t.Fatalf("class = %q", o.GranularityClass())
+	}
+}
+
+func BenchmarkCampaign(b *testing.B) {
+	m := mustMarket(b, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (Campaign{Observe: 30 * time.Second}).Run(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package mitigation implements the location-privacy defenses the
+// paper's related work surveys, as stream transforms over
+// trace.Source. Each defense can be dropped between a trace and any
+// consumer (an app simulation, a PoI extractor, the privacy model), so
+// its effect on every metric is measured by re-running the metric on
+// the transformed stream:
+//
+//   - Truncate: coordinate truncation (Micinski et al.);
+//   - Coarsen: grid snapping, LP-Guardian's treatment of background
+//     requests (Fawaz & Shin);
+//   - Suppress: zone suppression around sensitive places (the
+//     "blocking access to sensitive locations" users can apply);
+//   - Decoy: fixed fake location (MockDroid / TISSA-style shadow data);
+//   - RateLimit: enforcing a minimum interval between released fixes,
+//     the defense the paper's frequency analysis motivates.
+package mitigation
+
+import (
+	"fmt"
+	"time"
+
+	"locwatch/internal/geo"
+	"locwatch/internal/trace"
+)
+
+// Truncate truncates every coordinate to the given number of decimal
+// digits. Two digits is roughly 1.1 km, four roughly 11 m.
+type Truncate struct {
+	src    trace.Source
+	digits int
+}
+
+// NewTruncate wraps src with coordinate truncation.
+func NewTruncate(src trace.Source, digits int) *Truncate {
+	return &Truncate{src: src, digits: digits}
+}
+
+var _ trace.Source = (*Truncate)(nil)
+
+// Next implements trace.Source.
+func (t *Truncate) Next() (trace.Point, error) {
+	p, err := t.src.Next()
+	if err != nil {
+		return trace.Point{}, err
+	}
+	p.Pos = geo.Truncate(p.Pos, t.digits)
+	return p, nil
+}
+
+// Coarsen snaps every fix to the center of a square grid cell,
+// LP-Guardian's city-level / block-level release for background apps.
+type Coarsen struct {
+	src  trace.Source
+	proj *geo.Projection
+	cell float64
+}
+
+// NewCoarsen wraps src with grid snapping anchored at anchor. cell is
+// the grid size in meters and must be positive.
+func NewCoarsen(src trace.Source, anchor geo.LatLon, cell float64) (*Coarsen, error) {
+	if cell <= 0 {
+		return nil, fmt.Errorf("mitigation: cell must be positive, got %v", cell)
+	}
+	return &Coarsen{src: src, proj: geo.NewProjection(anchor), cell: cell}, nil
+}
+
+var _ trace.Source = (*Coarsen)(nil)
+
+// Next implements trace.Source.
+func (c *Coarsen) Next() (trace.Point, error) {
+	p, err := c.src.Next()
+	if err != nil {
+		return trace.Point{}, err
+	}
+	p.Pos = c.proj.SnapToGrid(p.Pos, c.cell)
+	return p, nil
+}
+
+// Suppress drops every fix within radius meters of any protected
+// center — the user-level "block my sensitive places" control.
+type Suppress struct {
+	src     trace.Source
+	centers []geo.LatLon
+	radius  float64
+}
+
+// NewSuppress wraps src, dropping fixes near the protected centers.
+func NewSuppress(src trace.Source, centers []geo.LatLon, radius float64) (*Suppress, error) {
+	if radius <= 0 {
+		return nil, fmt.Errorf("mitigation: radius must be positive, got %v", radius)
+	}
+	cs := make([]geo.LatLon, len(centers))
+	copy(cs, centers)
+	return &Suppress{src: src, centers: cs, radius: radius}, nil
+}
+
+var _ trace.Source = (*Suppress)(nil)
+
+// Next implements trace.Source.
+func (s *Suppress) Next() (trace.Point, error) {
+	for {
+		p, err := s.src.Next()
+		if err != nil {
+			return trace.Point{}, err
+		}
+		if !s.protected(p.Pos) {
+			return p, nil
+		}
+	}
+}
+
+func (s *Suppress) protected(pos geo.LatLon) bool {
+	for _, c := range s.centers {
+		if geo.Distance(pos, c) <= s.radius {
+			return true
+		}
+	}
+	return false
+}
+
+// Decoy releases a fixed fake position with the original timestamps —
+// MockDroid's "fake data" choice and TISSA's shadow location.
+type Decoy struct {
+	src trace.Source
+	pos geo.LatLon
+}
+
+// NewDecoy wraps src, replacing every position with pos.
+func NewDecoy(src trace.Source, pos geo.LatLon) *Decoy {
+	return &Decoy{src: src, pos: pos}
+}
+
+var _ trace.Source = (*Decoy)(nil)
+
+// Next implements trace.Source.
+func (d *Decoy) Next() (trace.Point, error) {
+	p, err := d.src.Next()
+	if err != nil {
+		return trace.Point{}, err
+	}
+	p.Pos = d.pos
+	return p, nil
+}
+
+// RateLimit enforces a minimum spacing between released fixes — the OS
+// clamping a background app's effective access frequency. It is the
+// same mechanism as trace.Sampler, re-exported here as a defense with
+// validation.
+type RateLimit struct {
+	inner *trace.Sampler
+}
+
+// NewRateLimit wraps src, releasing at most one fix per min interval.
+func NewRateLimit(src trace.Source, min time.Duration) (*RateLimit, error) {
+	if min <= 0 {
+		return nil, fmt.Errorf("mitigation: rate limit must be positive, got %v", min)
+	}
+	return &RateLimit{inner: trace.NewSampler(src, min, 0)}, nil
+}
+
+var _ trace.Source = (*RateLimit)(nil)
+
+// Next implements trace.Source.
+func (r *RateLimit) Next() (trace.Point, error) { return r.inner.Next() }
+
+// Chain composes defenses left to right: Chain(src, f, g) applies f
+// first, then g.
+func Chain(src trace.Source, wraps ...func(trace.Source) trace.Source) trace.Source {
+	for _, w := range wraps {
+		src = w(src)
+	}
+	return src
+}

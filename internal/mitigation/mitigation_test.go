@@ -1,0 +1,267 @@
+package mitigation
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"locwatch/internal/core"
+	"locwatch/internal/geo"
+	"locwatch/internal/poi"
+	"locwatch/internal/trace"
+)
+
+var (
+	anchor  = geo.LatLon{Lat: 39.9042, Lon: 116.4074}
+	mStart  = time.Date(2026, 7, 1, 8, 0, 0, 0, time.UTC)
+	workPos = geo.Destination(anchor, 60, 4000)
+)
+
+// commute builds a simple noisy home→work→home trace.
+func commute(seed int64, days int) []trace.Point {
+	rng := rand.New(rand.NewSource(seed))
+	var pts []trace.Point
+	now := mStart
+	emit := func(pos geo.LatLon, dur time.Duration) {
+		end := now.Add(dur)
+		for !now.After(end) {
+			p := geo.Destination(pos, rng.Float64()*360, rng.Float64()*6)
+			pts = append(pts, trace.Point{Pos: p, T: now})
+			now = now.Add(2 * time.Second)
+		}
+	}
+	walk := func(from, to geo.LatLon) {
+		total := geo.Distance(from, to)
+		steps := int(total / (9 * 2))
+		for i := 1; i <= steps; i++ {
+			pts = append(pts, trace.Point{Pos: geo.Interpolate(from, to, float64(i)/float64(steps+1)), T: now})
+			now = now.Add(2 * time.Second)
+		}
+	}
+	for d := 0; d < days; d++ {
+		emit(anchor, 40*time.Minute)
+		walk(anchor, workPos)
+		emit(workPos, 3*time.Hour)
+		walk(workPos, anchor)
+		emit(anchor, 40*time.Minute)
+		now = now.Add(10 * time.Hour)
+	}
+	return pts
+}
+
+func TestTruncateDegradesPrecision(t *testing.T) {
+	pts := commute(1, 1)
+	tr := NewTruncate(trace.NewSliceSource(pts), 2)
+	p, err := tr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Pos != geo.Truncate(pts[0].Pos, 2) {
+		t.Fatalf("truncation not applied: %v", p.Pos)
+	}
+	if !p.T.Equal(pts[0].T) {
+		t.Fatal("timestamp modified")
+	}
+}
+
+func TestTruncateKillsPoIExtraction(t *testing.T) {
+	pts := commute(2, 2)
+	baseline, err := poi.Extract(trace.NewSliceSource(pts), poi.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(baseline) == 0 {
+		t.Fatal("baseline found no stays")
+	}
+	// At 2 digits (~1.1 km) every released fix sits on a coarse
+	// lattice; whatever stays the extractor still finds are at lattice
+	// corners, hundreds of meters from the true venues, so none of the
+	// user's real places is discovered.
+	gt, err := core.BuildProfile(trace.NewSliceSource(pts), anchor, core.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := core.BuildProfile(NewTruncate(trace.NewSliceSource(pts), 2), anchor, core.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, discovered := gt.Coverage(obs); discovered != 0 {
+		t.Fatalf("truncation still discovered %d true places", discovered)
+	}
+}
+
+func TestCoarsenValidationAndEffect(t *testing.T) {
+	if _, err := NewCoarsen(nil, anchor, 0); err == nil {
+		t.Fatal("zero cell accepted")
+	}
+	pts := commute(3, 1)
+	c, err := NewCoarsen(trace.NewSliceSource(pts), anchor, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj := geo.NewProjection(anchor)
+	for i := 0; i < 100; i++ {
+		p, err := c.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snapped := proj.SnapToGrid(p.Pos, 500); snapped != p.Pos {
+			t.Fatal("point not on grid")
+		}
+	}
+}
+
+func TestCoarsenReducesMetrics(t *testing.T) {
+	pts := commute(4, 3)
+	gt, err := core.BuildProfile(trace.NewSliceSource(pts), anchor, core.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := NewCoarsen(trace.NewSliceSource(pts), anchor, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := core.BuildProfile(coarse, anchor, core.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, discovered := gt.Coverage(obs)
+	if discovered != 0 {
+		t.Fatalf("2 km coarsening still discovered %d true places", discovered)
+	}
+}
+
+func TestSuppressDropsProtectedZone(t *testing.T) {
+	if _, err := NewSuppress(nil, nil, 0); err == nil {
+		t.Fatal("zero radius accepted")
+	}
+	pts := commute(5, 2)
+	s, err := NewSuppress(trace.NewSliceSource(pts), []geo.LatLon{workPos}, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		p, err := s.Next()
+		if err != nil {
+			break
+		}
+		n++
+		if geo.Distance(p.Pos, workPos) <= 150 {
+			t.Fatal("protected fix released")
+		}
+	}
+	if n == 0 {
+		t.Fatal("suppression dropped everything")
+	}
+	// The suppressed stream must not yield a PoI inside the zone. Note
+	// the well-known residual leak this deliberately does NOT rule out:
+	// the entry/exit fixes on the zone boundary straddling the data
+	// hole can still merge into a boundary stay (Hoh et al.'s path
+	// inference), which is why suppression alone is a weak defense.
+	s2, _ := NewSuppress(trace.NewSliceSource(pts), []geo.LatLon{workPos}, 150)
+	stays, err := poi.Extract(s2, poi.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range stays {
+		if geo.Distance(st.Pos, workPos) < 150 {
+			t.Fatalf("PoI inside the protected zone survived suppression: %v", st)
+		}
+	}
+}
+
+func TestDecoyHidesEverything(t *testing.T) {
+	pts := commute(6, 3)
+	fake := geo.Destination(anchor, 200, 9000)
+	gt, err := core.BuildProfile(trace.NewSliceSource(pts), anchor, core.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := core.BuildProfile(NewDecoy(trace.NewSliceSource(pts), fake), anchor, core.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, discovered := gt.Coverage(obs); discovered != 0 {
+		t.Fatal("decoy feed discovered real places")
+	}
+	bin, err := gt.HisBin(obs, core.PatternRegion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bin != 0 {
+		t.Fatal("decoy feed matched the real profile")
+	}
+}
+
+func TestRateLimit(t *testing.T) {
+	if _, err := NewRateLimit(nil, 0); err == nil {
+		t.Fatal("zero rate limit accepted")
+	}
+	pts := commute(7, 1)
+	rl, err := NewRateLimit(trace.NewSliceSource(pts), 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev time.Time
+	n := 0
+	for {
+		p, err := rl.Next()
+		if err != nil {
+			break
+		}
+		if n > 0 && p.T.Sub(prev) < 10*time.Minute {
+			t.Fatalf("spacing %v below the limit", p.T.Sub(prev))
+		}
+		prev = p.T
+		n++
+	}
+	if n == 0 {
+		t.Fatal("rate limit dropped everything")
+	}
+}
+
+func TestChainComposes(t *testing.T) {
+	pts := commute(8, 1)
+	src := Chain(trace.NewSliceSource(pts),
+		func(s trace.Source) trace.Source { return NewTruncate(s, 3) },
+		func(s trace.Source) trace.Source {
+			rl, err := NewRateLimit(s, time.Minute)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return rl
+		},
+	)
+	n, err := trace.Count(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || n >= len(pts) {
+		t.Fatalf("chained stream has %d of %d points", n, len(pts))
+	}
+}
+
+func TestMitigationPreservesTimeOrder(t *testing.T) {
+	pts := commute(9, 2)
+	sources := map[string]trace.Source{
+		"truncate": NewTruncate(trace.NewSliceSource(pts), 3),
+		"decoy":    NewDecoy(trace.NewSliceSource(pts), anchor),
+	}
+	if c, err := NewCoarsen(trace.NewSliceSource(pts), anchor, 300); err == nil {
+		sources["coarsen"] = c
+	}
+	for name, src := range sources {
+		var prev time.Time
+		err := trace.ForEach(src, func(p trace.Point) error {
+			if p.T.Before(prev) {
+				t.Fatalf("%s reordered points", name)
+			}
+			prev = p.T
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,330 @@
+package mobility
+
+import (
+	"math/rand"
+	"time"
+
+	"locwatch/internal/geo"
+)
+
+// legKind distinguishes stays from travel.
+type legKind int
+
+const (
+	stayLeg legKind = iota
+	travelLeg
+)
+
+// leg is one segment of a day's itinerary.
+type leg struct {
+	kind     legKind
+	venue    Venue        // stay legs
+	path     []geo.LatLon // travel legs: polyline vertices
+	cum      []float64    // travel legs: cumulative meters at each vertex
+	start    time.Time
+	end      time.Time
+	recorded bool
+	// recFrom/recTo bound the recorded part of the leg (zero = whole
+	// leg). Trips-only users record travel with both ends trimmed — the
+	// GPS is switched on after departure and off before arrival, so no
+	// fix ever lands at a venue and PoI extraction starves.
+	recFrom time.Time
+	recTo   time.Time
+	// routineDest marks travel toward one of the user's habitual
+	// destinations. Trips-only recorders rarely log those: nobody runs
+	// turn-by-turn navigation on their daily commute.
+	routineDest bool
+}
+
+// tripTrim is how much of each trip's ends a trips-only recorder
+// misses (GPS cold start after departure, switch-off before arrival).
+const tripTrim = 2 * time.Minute
+
+func (l *leg) duration() time.Duration { return l.end.Sub(l.start) }
+
+// posAt returns the noiseless position at time t within the leg.
+func (l *leg) posAt(t time.Time) geo.LatLon {
+	if l.kind == stayLeg {
+		return l.venue.Pos
+	}
+	dur := l.duration()
+	if dur <= 0 {
+		return l.path[len(l.path)-1]
+	}
+	frac := float64(t.Sub(l.start)) / float64(dur)
+	if frac <= 0 {
+		return l.path[0]
+	}
+	if frac >= 1 {
+		return l.path[len(l.path)-1]
+	}
+	target := frac * l.cum[len(l.cum)-1]
+	for i := 1; i < len(l.cum); i++ {
+		if target <= l.cum[i] {
+			segLen := l.cum[i] - l.cum[i-1]
+			if segLen <= 0 {
+				return l.path[i]
+			}
+			f := (target - l.cum[i-1]) / segLen
+			return geo.Interpolate(l.path[i-1], l.path[i], f)
+		}
+	}
+	return l.path[len(l.path)-1]
+}
+
+// itinerary builds one user-day as a sequence of legs.
+type itinerary struct {
+	w    *World
+	u    *User
+	rng  *rand.Rand
+	legs []leg
+	now  time.Time
+	pos  geo.LatLon
+}
+
+// dayLegs builds the itinerary of the given simulated day. It is
+// deterministic in (user seed, day). An unrecorded day returns nil.
+func (w *World) dayLegs(u *User, day int) []leg {
+	rng := rand.New(rand.NewSource(u.seed*31 + int64(day)*101 + 17))
+	if rng.Float64() >= u.recordProb {
+		return nil // device off today
+	}
+	dayStart := w.cfg.Start.AddDate(0, 0, day)
+	it := &itinerary{
+		w:   w,
+		u:   u,
+		rng: rng,
+		now: dayStart.Add(time.Duration(u.wakeMinute) * time.Minute),
+		pos: u.Home.Pos,
+	}
+	weekday := day%7 < 5 // simulation starts on a Monday
+	if weekday {
+		it.buildWeekday(dayStart)
+	} else {
+		it.buildWeekend(dayStart)
+	}
+	it.applyRecordingMode()
+	return it.legs
+}
+
+func (it *itinerary) buildWeekday(dayStart time.Time) {
+	u := it.u
+	// Morning at home.
+	it.stay(u.Home, time.Duration(40+it.rng.Intn(35))*time.Minute)
+
+	// Morning routine in habitual order (gym/cafe before work).
+	if len(u.MorningRoutine) > 0 && it.rng.Float64() < u.morningProb {
+		for _, stop := range u.MorningRoutine {
+			it.travelTo(stop.venue.Pos)
+			it.stay(stop.venue, stop.dwell)
+		}
+	}
+
+	// To work; lunch excursion mid-day.
+	it.travelTo(u.Work.Pos)
+	workEnd := dayStart.Add(time.Duration(u.workEndMin) * time.Minute)
+	lunch := it.rng.Float64() < u.lunchProb && len(u.LunchSpots) > 0
+	if lunch {
+		lunchAt := dayStart.Add(time.Duration(11*60+45+it.rng.Intn(60)) * time.Minute)
+		if lunchAt.After(it.now.Add(30 * time.Minute)) {
+			it.stayUntil(u.Work, lunchAt)
+			spot := u.LunchSpots[0]
+			if len(u.LunchSpots) > 1 && it.rng.Float64() > 0.7 {
+				spot = u.LunchSpots[1]
+			}
+			it.travelTo(spot.Pos)
+			it.stay(spot, time.Duration(30+it.rng.Intn(20))*time.Minute)
+			it.travelTo(u.Work.Pos)
+		}
+	}
+	if workEnd.After(it.now.Add(10 * time.Minute)) {
+		it.stayUntil(u.Work, workEnd)
+	} else {
+		it.stay(u.Work, time.Hour)
+	}
+
+	// Scheduled rare (sensitive) visits, then the habitual evening
+	// routine prefix, in order.
+	for _, rv := range it.rareVisitsToday(dayStart) {
+		it.travelExplore(rv.venue.Pos)
+		it.stay(rv.venue, rv.dwell)
+	}
+	if len(u.EveningRoutine) > 0 && it.rng.Float64() < u.eveningProb {
+		k := 1 + it.rng.Intn(len(u.EveningRoutine))
+		for _, stop := range u.EveningRoutine[:k] {
+			it.travelTo(stop.venue.Pos)
+			it.stay(stop.venue, stop.dwell)
+		}
+	}
+
+	it.endAtHome(dayStart)
+}
+
+func (it *itinerary) buildWeekend(dayStart time.Time) {
+	u := it.u
+	// Sleep in, long home morning.
+	it.now = it.now.Add(time.Duration(40+it.rng.Intn(60)) * time.Minute)
+	it.stay(u.Home, time.Duration(90+it.rng.Intn(90))*time.Minute)
+
+	// Midday rare visits.
+	for _, rv := range it.rareVisitsToday(dayStart) {
+		it.travelExplore(rv.venue.Pos)
+		it.stay(rv.venue, rv.dwell)
+	}
+
+	// Campus users often put in a weekend shift: office with a canteen
+	// lunch, keeping their weekly dwell mix almost identical to
+	// weekdays.
+	if u.weekendWork && it.rng.Float64() < 0.7 {
+		it.travelTo(u.Work.Pos)
+		it.stay(u.Work, time.Duration(3*60+it.rng.Intn(150))*time.Minute)
+		if len(u.LunchSpots) > 0 && it.rng.Float64() < 0.8 {
+			spot := u.LunchSpots[0]
+			it.travelTo(spot.Pos)
+			it.stay(spot, time.Duration(30+it.rng.Intn(20))*time.Minute)
+		}
+	}
+
+	// Leisure trips: habitual venues most of the time, occasional
+	// exploration of the city pool.
+	leisures := it.w.byKind(Leisure)
+	for i := 0; i < u.weekendTrips; i++ {
+		if len(u.EveningRoutine) > 0 && it.rng.Float64() < 0.6 {
+			v := u.EveningRoutine[it.rng.Intn(len(u.EveningRoutine))].venue
+			it.travelTo(v.Pos)
+			it.stay(v, time.Duration(40+it.rng.Intn(80))*time.Minute)
+		} else {
+			v := leisures[it.rng.Intn(len(leisures))]
+			it.travelExplore(v.Pos)
+			it.stay(v, time.Duration(40+it.rng.Intn(80))*time.Minute)
+		}
+		if it.rng.Float64() < 0.5 {
+			it.travelTo(u.Home.Pos)
+			it.stay(u.Home, time.Duration(60+it.rng.Intn(60))*time.Minute)
+		}
+	}
+
+	it.endAtHome(dayStart)
+}
+
+// rareVisitsToday returns the user's scheduled rare visits for this day.
+func (it *itinerary) rareVisitsToday(dayStart time.Time) []rareVisit {
+	day := int(dayStart.Sub(it.w.cfg.Start).Hours() / 24)
+	var out []rareVisit
+	for _, rv := range it.u.rareVisits {
+		if rv.day == day {
+			out = append(out, rv)
+		}
+	}
+	return out
+}
+
+// endAtHome travels home and stays until sleep.
+func (it *itinerary) endAtHome(dayStart time.Time) {
+	it.travelTo(it.u.Home.Pos)
+	sleep := dayStart.Add(time.Duration(it.u.sleepMinute) * time.Minute)
+	if sleep.After(it.now) {
+		it.stayUntil(it.u.Home, sleep)
+	} else {
+		it.stay(it.u.Home, 30*time.Minute)
+	}
+}
+
+// stay appends a stay of the given duration at v.
+func (it *itinerary) stay(v Venue, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	it.legs = append(it.legs, leg{
+		kind:     stayLeg,
+		venue:    v,
+		start:    it.now,
+		end:      it.now.Add(d),
+		recorded: true,
+	})
+	it.now = it.now.Add(d)
+	it.pos = v.Pos
+}
+
+// stayUntil appends a stay at v lasting until the given instant.
+func (it *itinerary) stayUntil(v Venue, until time.Time) {
+	if until.After(it.now) {
+		it.stay(v, until.Sub(it.now))
+	}
+}
+
+// travelTo appends a travel leg from the current position. Walking is
+// used under a kilometer, driving beyond; the path bends through a
+// jittered midpoint so traces are not perfectly straight.
+func (it *itinerary) travelTo(dst geo.LatLon) { it.travel(dst, true) }
+
+// travelExplore is travelTo for unfamiliar destinations.
+func (it *itinerary) travelExplore(dst geo.LatLon) { it.travel(dst, false) }
+
+func (it *itinerary) travel(dst geo.LatLon, routine bool) {
+	dist := geo.Distance(it.pos, dst)
+	if dist < 1 {
+		return
+	}
+	speed := it.u.walkSpeed
+	if dist > 1000 {
+		speed = it.u.driveSpeed
+	}
+	mid := geo.Interpolate(it.pos, dst, 0.5)
+	mid = jitter(it.rng, mid, dist*0.08)
+	path := []geo.LatLon{it.pos, mid, dst}
+	cum := make([]float64, len(path))
+	for i := 1; i < len(path); i++ {
+		cum[i] = cum[i-1] + geo.Distance(path[i-1], path[i])
+	}
+	dur := time.Duration(cum[len(cum)-1] / speed * float64(time.Second))
+	if dur < time.Second {
+		dur = time.Second
+	}
+	it.legs = append(it.legs, leg{
+		kind:        travelLeg,
+		path:        path,
+		cum:         cum,
+		start:       it.now,
+		end:         it.now.Add(dur),
+		recorded:    true,
+		routineDest: routine,
+	})
+	it.now = it.now.Add(dur)
+	it.pos = dst
+}
+
+// applyRecordingMode adjusts the recorded/fringe flags per the user's
+// recording behaviour.
+func (it *itinerary) applyRecordingMode() {
+	switch it.u.Mode {
+	case RecordContinuous:
+		// everything recorded
+	case RecordTripsOnly:
+		for i := range it.legs {
+			l := &it.legs[i]
+			if l.kind == stayLeg {
+				l.recorded = false
+				continue
+			}
+			// Navigation-style recording: unfamiliar trips are logged,
+			// the daily commute almost never is.
+			if l.routineDest && it.rng.Float64() >= 0.15 {
+				l.recorded = false
+				continue
+			}
+			trim := tripTrim
+			if quarter := l.duration() / 4; quarter < trim {
+				trim = quarter
+			}
+			l.recFrom = l.start.Add(trim)
+			l.recTo = l.end.Add(-trim)
+		}
+	case RecordSparse:
+		for i := range it.legs {
+			if it.rng.Float64() >= 0.35 {
+				it.legs[i].recorded = false
+			}
+		}
+	}
+}

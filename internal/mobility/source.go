@@ -1,0 +1,134 @@
+package mobility
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"locwatch/internal/geo"
+	"locwatch/internal/trace"
+)
+
+// userSource streams one user's GPS fixes over the simulation period,
+// building each day's itinerary lazily so memory stays O(one day).
+type userSource struct {
+	w        *World
+	u        *User
+	interval time.Duration
+	noise    *rand.Rand
+
+	day    int
+	legs   []leg
+	legIdx int
+	t      time.Time
+	inited bool
+}
+
+// Trace returns a streaming full-period GPS source for the user.
+//
+// interval is the observation cadence: fixes are emitted every
+// max(interval, BaseInterval). Pass 0 for the user's native rate (the
+// ground-truth profile view); pass an app's background-access interval
+// to obtain exactly what that app would collect, without paying for
+// full-rate generation. Emitting at interval i here is equivalent to
+// wrapping the native stream in trace.NewSampler(src, i, 0) up to
+// sub-interval phase.
+func (w *World) Trace(userID int, interval time.Duration) (trace.Source, error) {
+	u, err := w.User(userID)
+	if err != nil {
+		return nil, err
+	}
+	eff := u.baseInterval
+	if interval > eff {
+		eff = interval
+	}
+	return &userSource{
+		w:        w,
+		u:        u,
+		interval: eff,
+		noise:    rand.New(rand.NewSource(u.seed*131 + int64(interval/time.Millisecond)%9973 + 7)),
+	}, nil
+}
+
+var _ trace.Source = (*userSource)(nil)
+
+// Next implements trace.Source.
+func (s *userSource) Next() (trace.Point, error) {
+	for {
+		if !s.inited || s.legIdx >= len(s.legs) {
+			if !s.advanceDay() {
+				return trace.Point{}, io.EOF
+			}
+			continue
+		}
+		l := &s.legs[s.legIdx]
+		if s.t.Before(l.start) {
+			s.t = l.start
+		}
+		if s.t.After(l.end) {
+			s.legIdx++
+			continue
+		}
+		if !l.recorded {
+			s.legIdx++
+			continue
+		}
+		if !l.recFrom.IsZero() && s.t.Before(l.recFrom) {
+			s.t = l.recFrom
+		}
+		if !l.recTo.IsZero() && s.t.After(l.recTo) {
+			s.legIdx++
+			continue
+		}
+		pos := l.posAt(s.t)
+		if sigma := s.w.cfg.NoiseSigma; sigma > 0 {
+			pos = geo.Destination(pos, s.noise.Float64()*360, gaussAbs(s.noise, sigma))
+		}
+		p := trace.Point{Pos: pos, T: s.t}
+		s.t = s.t.Add(s.interval)
+		return p, nil
+	}
+}
+
+// advanceDay builds the next day's legs; false when the period ends.
+func (s *userSource) advanceDay() bool {
+	if s.inited {
+		s.day++
+	}
+	s.inited = true
+	for ; s.day < s.w.cfg.Days; s.day++ {
+		legs := s.w.dayLegs(s.u, s.day)
+		if len(legs) == 0 {
+			continue
+		}
+		s.legs = legs
+		s.legIdx = 0
+		s.t = legs[0].start
+		return true
+	}
+	return false
+}
+
+// gaussAbs draws |N(0, sigma)| — radial GPS error magnitude.
+func gaussAbs(rng *rand.Rand, sigma float64) float64 {
+	v := rng.NormFloat64() * sigma
+	if v < 0 {
+		v = -v
+	}
+	return v
+}
+
+// TraceFromDay returns a source starting at the given day offset —
+// used by the Figure 4(b) random-start experiments.
+func (w *World) TraceFromDay(userID int, interval time.Duration, fromDay int) (trace.Source, error) {
+	if fromDay < 0 || fromDay >= w.cfg.Days {
+		return nil, fmt.Errorf("mobility: fromDay %d out of range [0, %d)", fromDay, w.cfg.Days)
+	}
+	src, err := w.Trace(userID, interval)
+	if err != nil {
+		return nil, err
+	}
+	cut := w.cfg.Start.AddDate(0, 0, fromDay)
+	return trace.NewTimeWindow(src, cut, time.Time{}), nil
+}

@@ -1,0 +1,157 @@
+package poi
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"locwatch/internal/geo"
+	"locwatch/internal/geoidx"
+)
+
+// Place is a canonical PoI of one user: the merge of all stay points
+// that fall within MergeRadius of each other.
+type Place struct {
+	ID     int
+	Pos    geo.LatLon // centroid of the first stay that created the place
+	Visits int
+	Dwell  time.Duration // total time spent across visits
+}
+
+// Visit is one stay at a canonical place.
+type Visit struct {
+	PlaceID int
+	Enter   time.Time
+	Exit    time.Time
+}
+
+// Duration returns the visit's dwell time.
+func (v Visit) Duration() time.Duration { return v.Exit.Sub(v.Enter) }
+
+// Canonicalizer assigns stay points to canonical places. A stay joins
+// the nearest existing place within MergeRadius, otherwise it founds a
+// new place. Not safe for concurrent use.
+type Canonicalizer struct {
+	mergeRadius float64
+	index       *geoidx.Index
+	places      []Place
+	visits      []Visit
+}
+
+// NewCanonicalizer returns a canonicalizer anchored at origin (any
+// point near the user's activity area) merging stays within mergeRadius
+// meters.
+func NewCanonicalizer(origin geo.LatLon, mergeRadius float64) (*Canonicalizer, error) {
+	if mergeRadius <= 0 {
+		return nil, fmt.Errorf("poi: merge radius must be positive, got %v", mergeRadius)
+	}
+	ix, err := geoidx.New(origin, mergeRadius*2)
+	if err != nil {
+		return nil, err
+	}
+	return &Canonicalizer{mergeRadius: mergeRadius, index: ix}, nil
+}
+
+// Observe assigns the stay to a place (creating one if needed) and
+// records the visit. Stays must be observed in time order for the
+// visit sequence to be meaningful; the canonicalizer itself does not
+// enforce ordering.
+func (c *Canonicalizer) Observe(s StayPoint) Visit {
+	id := c.Locate(s.Pos)
+	if id < 0 {
+		id = len(c.places)
+		c.places = append(c.places, Place{ID: id, Pos: s.Pos})
+		c.index.Add(id, s.Pos)
+	}
+	c.places[id].Visits++
+	c.places[id].Dwell += s.Duration()
+	v := Visit{PlaceID: id, Enter: s.Enter, Exit: s.Exit}
+	c.visits = append(c.visits, v)
+	return v
+}
+
+// Locate returns the ID of the existing place within MergeRadius of
+// pos, or -1 if there is none. It never creates a place, which lets an
+// adversary model match freshly collected stays against a profile's
+// place registry without mutating it.
+func (c *Canonicalizer) Locate(pos geo.LatLon) int {
+	e, ok := c.index.Nearest(pos, c.mergeRadius)
+	if !ok {
+		return -1
+	}
+	return e.ID
+}
+
+// Places returns the canonical places, ordered by ID.
+func (c *Canonicalizer) Places() []Place {
+	out := make([]Place, len(c.places))
+	copy(out, c.places)
+	return out
+}
+
+// Visits returns the visit sequence in observation order.
+func (c *Canonicalizer) Visits() []Visit {
+	out := make([]Visit, len(c.visits))
+	copy(out, c.visits)
+	return out
+}
+
+// NumPlaces returns the number of canonical places.
+func (c *Canonicalizer) NumPlaces() int { return len(c.places) }
+
+// Place returns the place with the given ID.
+func (c *Canonicalizer) Place(id int) (Place, bool) {
+	if id < 0 || id >= len(c.places) {
+		return Place{}, false
+	}
+	return c.places[id], true
+}
+
+// SensitivePlaces returns the places visited at most maxVisits times —
+// the paper's PoI_sensitive criterion ("no more than 3 times" in the
+// Figure 3(b) measurement). Results are ordered by ID.
+func (c *Canonicalizer) SensitivePlaces(maxVisits int) []Place {
+	var out []Place
+	for _, p := range c.places {
+		if p.Visits <= maxVisits {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Transitions returns the movement-pattern counts (PoI_i → PoI_j) from
+// the visit sequence: one transition per pair of consecutive visits to
+// different places. maxGap bounds the time between the end of one visit
+// and the start of the next for them to count as connected (0 means
+// unbounded). The result maps "i→j" place-ID pairs to counts, sorted
+// keys available via the stats.Histogram the caller builds.
+func (c *Canonicalizer) Transitions(maxGap time.Duration) map[[2]int]int {
+	out := make(map[[2]int]int)
+	for i := 1; i < len(c.visits); i++ {
+		prev, cur := c.visits[i-1], c.visits[i]
+		if prev.PlaceID == cur.PlaceID {
+			continue
+		}
+		if maxGap > 0 && cur.Enter.Sub(prev.Exit) > maxGap {
+			continue
+		}
+		out[[2]int{prev.PlaceID, cur.PlaceID}]++
+	}
+	return out
+}
+
+// TopPlaces returns the n most-visited places (ties broken by ID).
+func (c *Canonicalizer) TopPlaces(n int) []Place {
+	ps := c.Places()
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Visits != ps[j].Visits {
+			return ps[i].Visits > ps[j].Visits
+		}
+		return ps[i].ID < ps[j].ID
+	})
+	if n > len(ps) {
+		n = len(ps)
+	}
+	return ps[:n]
+}

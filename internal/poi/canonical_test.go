@@ -1,0 +1,239 @@
+package poi
+
+import (
+	"testing"
+	"time"
+
+	"locwatch/internal/geo"
+)
+
+func stayAt(pos geo.LatLon, enter time.Time, dwell time.Duration) StayPoint {
+	return StayPoint{Pos: pos, Enter: enter, Exit: enter.Add(dwell), NPoints: 10}
+}
+
+func TestCanonicalizerValidation(t *testing.T) {
+	if _, err := NewCanonicalizer(origin, 0); err == nil {
+		t.Fatal("zero merge radius accepted")
+	}
+	if _, err := NewCanonicalizer(origin, -10); err == nil {
+		t.Fatal("negative merge radius accepted")
+	}
+}
+
+func TestCanonicalizerMergesNearbyStays(t *testing.T) {
+	c, err := NewCanonicalizer(origin, 75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	home := origin
+	work := placeAt(90, 5000)
+	ts := start
+	// Three visits home (jittered), two at work.
+	for i, pos := range []geo.LatLon{
+		geo.Destination(home, 10, 20),
+		work,
+		geo.Destination(home, 200, 30),
+		geo.Destination(work, 90, 15),
+		home,
+	} {
+		c.Observe(stayAt(pos, ts.Add(time.Duration(i)*3*time.Hour), 30*time.Minute))
+	}
+	if c.NumPlaces() != 2 {
+		t.Fatalf("NumPlaces = %d, want 2", c.NumPlaces())
+	}
+	places := c.Places()
+	if places[0].Visits != 3 || places[1].Visits != 2 {
+		t.Fatalf("visit counts = %d, %d; want 3, 2", places[0].Visits, places[1].Visits)
+	}
+	if places[0].Dwell != 90*time.Minute {
+		t.Fatalf("home dwell = %v", places[0].Dwell)
+	}
+	if len(c.Visits()) != 5 {
+		t.Fatalf("visits = %d", len(c.Visits()))
+	}
+}
+
+func TestCanonicalizerLocateDoesNotCreate(t *testing.T) {
+	c, _ := NewCanonicalizer(origin, 75)
+	if id := c.Locate(origin); id != -1 {
+		t.Fatalf("Locate on empty = %d, want -1", id)
+	}
+	c.Observe(stayAt(origin, start, time.Hour))
+	if id := c.Locate(geo.Destination(origin, 45, 30)); id != 0 {
+		t.Fatalf("Locate near place = %d, want 0", id)
+	}
+	if id := c.Locate(placeAt(0, 1000)); id != -1 {
+		t.Fatalf("Locate far away = %d, want -1", id)
+	}
+	if c.NumPlaces() != 1 {
+		t.Fatal("Locate created a place")
+	}
+}
+
+func TestCanonicalizerPlaceAccessor(t *testing.T) {
+	c, _ := NewCanonicalizer(origin, 75)
+	c.Observe(stayAt(origin, start, time.Hour))
+	if _, ok := c.Place(0); !ok {
+		t.Fatal("Place(0) missing")
+	}
+	if _, ok := c.Place(1); ok {
+		t.Fatal("Place(1) should not exist")
+	}
+	if _, ok := c.Place(-1); ok {
+		t.Fatal("Place(-1) should not exist")
+	}
+}
+
+func TestSensitivePlaces(t *testing.T) {
+	c, _ := NewCanonicalizer(origin, 75)
+	ts := start
+	visit := func(pos geo.LatLon, times int) {
+		for i := 0; i < times; i++ {
+			c.Observe(stayAt(pos, ts, 20*time.Minute))
+			ts = ts.Add(2 * time.Hour)
+		}
+	}
+	visit(origin, 10)          // home: frequent, not sensitive
+	visit(placeAt(0, 2000), 1) // clinic: sensitive at every threshold
+	visit(placeAt(90, 2000), 3)
+	visit(placeAt(180, 2000), 4)
+
+	if got := len(c.SensitivePlaces(1)); got != 1 {
+		t.Errorf("sensitive ≤1 = %d, want 1", got)
+	}
+	if got := len(c.SensitivePlaces(3)); got != 2 {
+		t.Errorf("sensitive ≤3 = %d, want 2", got)
+	}
+	if got := len(c.SensitivePlaces(100)); got != 4 {
+		t.Errorf("sensitive ≤100 = %d, want 4", got)
+	}
+}
+
+func TestTransitions(t *testing.T) {
+	c, _ := NewCanonicalizer(origin, 75)
+	home := origin
+	work := placeAt(90, 5000)
+	gym := placeAt(180, 3000)
+	ts := start
+	route := []geo.LatLon{home, work, home, gym, work, home, work}
+	for _, pos := range route {
+		c.Observe(stayAt(pos, ts, 30*time.Minute))
+		ts = ts.Add(2 * time.Hour)
+	}
+	// Place IDs: home=0, work=1, gym=2.
+	tr := c.Transitions(0)
+	want := map[[2]int]int{
+		{0, 1}: 2, {1, 0}: 2, {0, 2}: 1, {2, 1}: 1,
+	}
+	if len(tr) != len(want) {
+		t.Fatalf("transitions = %v, want %v", tr, want)
+	}
+	for k, v := range want {
+		if tr[k] != v {
+			t.Fatalf("transitions = %v, want %v", tr, want)
+		}
+	}
+}
+
+func TestTransitionsSelfLoopAndGap(t *testing.T) {
+	c, _ := NewCanonicalizer(origin, 75)
+	home := origin
+	work := placeAt(90, 5000)
+	ts := start
+	c.Observe(stayAt(home, ts, 30*time.Minute))
+	// Same place again: no transition.
+	c.Observe(stayAt(geo.Destination(home, 0, 10), ts.Add(time.Hour), 30*time.Minute))
+	// To work after a 50-hour gap: dropped when maxGap=24h.
+	c.Observe(stayAt(work, ts.Add(50*time.Hour), 30*time.Minute))
+	if tr := c.Transitions(24 * time.Hour); len(tr) != 0 {
+		t.Fatalf("transitions = %v, want none", tr)
+	}
+	if tr := c.Transitions(0); len(tr) != 1 {
+		t.Fatalf("unbounded transitions = %v, want the home→work hop", tr)
+	}
+}
+
+func TestTopPlaces(t *testing.T) {
+	c, _ := NewCanonicalizer(origin, 75)
+	ts := start
+	for i, times := range []int{2, 7, 4} {
+		pos := placeAt(float64(i*120), 2000)
+		for j := 0; j < times; j++ {
+			c.Observe(stayAt(pos, ts, 20*time.Minute))
+			ts = ts.Add(time.Hour)
+		}
+	}
+	top := c.TopPlaces(2)
+	if len(top) != 2 || top[0].Visits != 7 || top[1].Visits != 4 {
+		t.Fatalf("TopPlaces = %+v", top)
+	}
+	if got := c.TopPlaces(99); len(got) != 3 {
+		t.Fatalf("TopPlaces(99) = %d places", len(got))
+	}
+}
+
+func TestPlacesReturnsCopies(t *testing.T) {
+	c, _ := NewCanonicalizer(origin, 75)
+	c.Observe(stayAt(origin, start, time.Hour))
+	ps := c.Places()
+	ps[0].Visits = 999
+	if got, _ := c.Place(0); got.Visits != 1 {
+		t.Fatal("Places exposes internal state")
+	}
+	vs := c.Visits()
+	if len(vs) == 0 {
+		t.Fatal("no visits")
+	}
+	vs[0].PlaceID = 999
+	if c.Visits()[0].PlaceID != 0 {
+		t.Fatal("Visits exposes internal state")
+	}
+}
+
+func TestEndToEndExtractAndCanonicalize(t *testing.T) {
+	// A two-day commute: home → work → home → work → home, with the
+	// extractor feeding the canonicalizer.
+	home := origin
+	work := placeAt(60, 4000)
+	b := newBuilder(home, time.Second, 21)
+	for day := 0; day < 2; day++ {
+		b.stay(40*time.Minute, 5).
+			walk(work, 8).
+			stay(40*time.Minute, 5).
+			walk(home, 8)
+	}
+	b.stay(40*time.Minute, 5)
+
+	c, err := NewCanonicalizer(origin, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stays, err := Extract(b.source(), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range stays {
+		c.Observe(s)
+	}
+	if c.NumPlaces() != 2 {
+		t.Fatalf("NumPlaces = %d, want 2 (home, work)", c.NumPlaces())
+	}
+	tr := c.Transitions(0)
+	if tr[[2]int{0, 1}] != 2 || tr[[2]int{1, 0}] != 2 {
+		t.Fatalf("commute transitions = %v", tr)
+	}
+}
+
+func TestVisitDuration(t *testing.T) {
+	v := Visit{PlaceID: 0, Enter: start, Exit: start.Add(45 * time.Minute)}
+	if v.Duration() != 45*time.Minute {
+		t.Fatalf("Duration = %v", v.Duration())
+	}
+}
+
+func TestStayPointString(t *testing.T) {
+	s := stayAt(origin, start, time.Hour)
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+}

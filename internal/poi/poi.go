@@ -1,0 +1,312 @@
+// Package poi extracts Points of Interest from location traces.
+//
+// The primary extractor implements the Spatio-Temporal buffer algorithm
+// the paper adopts from Bamis & Savvides: three buffers buf_Entry,
+// buf_PoI and buf_Exit whose running centroids decide when a user has
+// entered and left a stay region. A classic stay-point detector (Li et
+// al.) is provided as an ablation baseline, and a Canonicalizer merges
+// the extracted stay points of a user into identified places with visit
+// counts — the substrate for the paper's PoI_total / PoI_sensitive
+// metrics and for movement-pattern histograms.
+package poi
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"locwatch/internal/geo"
+	"locwatch/internal/trace"
+)
+
+// StayPoint is one extracted PoI visit: the user stayed within a small
+// region from Enter to Exit.
+type StayPoint struct {
+	Pos     geo.LatLon // centroid of the stay region
+	Enter   time.Time
+	Exit    time.Time
+	NPoints int // number of fixes that contributed
+}
+
+// Duration returns the dwell time.
+func (s StayPoint) Duration() time.Duration { return s.Exit.Sub(s.Enter) }
+
+// String implements fmt.Stringer.
+func (s StayPoint) String() string {
+	return fmt.Sprintf("stay %s for %s from %s", s.Pos, s.Duration().Round(time.Second), s.Enter.Format(time.RFC3339))
+}
+
+// Params configures the buffer extractor. The paper's Table III sweeps
+// Radius ∈ {50, 100} m and MinVisit ∈ {10, 20, 30} min; its chosen
+// operating point is set 1 (50 m, 10 min), which DefaultParams returns.
+type Params struct {
+	// Radius is the centroid-distance threshold in meters that decides
+	// both PoI entry (buf_Entry vs buf_PoI centroids closer than this)
+	// and exit (buf_PoI vs buf_Exit centroids farther than this).
+	Radius float64
+	// MinVisit is the minimum dwell time for a stay to count as a PoI.
+	MinVisit time.Duration
+	// Window is the time span of the entry and exit buffers. Movement
+	// slower than roughly Radius/(Window/2) is treated as stationary.
+	// Defaults to 3 minutes when zero.
+	Window time.Duration
+	// MaxGap breaks the trace when consecutive fixes are farther apart
+	// in time; the current stay is flushed. Defaults to 12 hours when
+	// zero, comfortably above the largest access interval the market
+	// study observed (7,200 s).
+	MaxGap time.Duration
+}
+
+// DefaultParams returns the paper's chosen parameter set 1.
+func DefaultParams() Params {
+	return Params{Radius: 50, MinVisit: 10 * time.Minute}
+}
+
+func (p Params) withDefaults() (Params, error) {
+	if p.Window == 0 {
+		p.Window = 3 * time.Minute
+	}
+	if p.MaxGap == 0 {
+		p.MaxGap = 12 * time.Hour
+	}
+	if p.Radius <= 0 {
+		return p, fmt.Errorf("poi: radius must be positive, got %v", p.Radius)
+	}
+	if p.MinVisit <= 0 {
+		return p, fmt.Errorf("poi: min visit must be positive, got %v", p.MinVisit)
+	}
+	if p.Window < 0 || p.MaxGap < 0 {
+		return p, errors.New("poi: negative window or gap")
+	}
+	return p, nil
+}
+
+// window is a time-bounded sliding buffer of points with a running
+// centroid. It always retains at least two points regardless of age so
+// the extractor keeps working on sparsely sampled traces, where an
+// entire access interval can exceed the nominal window span.
+type window struct {
+	pts      []trace.Point
+	centroid geo.RunningCentroid
+	span     time.Duration
+}
+
+func (w *window) add(p trace.Point) {
+	w.pts = append(w.pts, p)
+	w.centroid.Add(p.Pos)
+	w.evict(p.T)
+}
+
+func (w *window) evict(now time.Time) {
+	for len(w.pts) > 2 && now.Sub(w.pts[0].T) > w.span {
+		w.centroid.Remove(w.pts[0].Pos)
+		w.pts = w.pts[1:]
+	}
+}
+
+func (w *window) reset() {
+	w.pts = w.pts[:0]
+	w.centroid.Reset()
+}
+
+func (w *window) len() int { return len(w.pts) }
+
+// halves splits the buffered points at their temporal midpoint and
+// returns the centroids of the older and newer halves. With fewer than
+// two points ok is false. If the temporal split degenerates (all mass
+// on one side), it falls back to an index split.
+func (w *window) halves() (older, newer geo.LatLon, ok bool) {
+	n := len(w.pts)
+	if n < 2 {
+		return geo.LatLon{}, geo.LatLon{}, false
+	}
+	mid := w.pts[0].T.Add(w.pts[n-1].T.Sub(w.pts[0].T) / 2)
+	split := 0
+	for split < n && !w.pts[split].T.After(mid) {
+		split++
+	}
+	if split == 0 || split == n {
+		split = n / 2
+	}
+	var a, b geo.RunningCentroid
+	for _, p := range w.pts[:split] {
+		a.Add(p.Pos)
+	}
+	for _, p := range w.pts[split:] {
+		b.Add(p.Pos)
+	}
+	return a.Value(), b.Value(), true
+}
+
+// Extractor is the streaming Spatio-Temporal buffer extractor. Feed it
+// time-ordered points and it emits StayPoints through the callback
+// passed to New; call Flush at end of stream to emit a trailing stay.
+//
+// The zero value is not usable; construct with NewExtractor.
+type Extractor struct {
+	params Params
+	emit   func(StayPoint)
+
+	inPoI    bool
+	entry    window // buf_Entry while searching
+	exit     window // buf_Exit while inside a PoI
+	poi      geo.RunningCentroid
+	poiStart time.Time
+	poiLast  time.Time
+	poiN     int
+
+	last     time.Time
+	anyPoint bool
+}
+
+// NewExtractor returns an extractor that calls emit for every PoI
+// found. emit must not retain the StayPoint's address; values are fine.
+func NewExtractor(params Params, emit func(StayPoint)) (*Extractor, error) {
+	p, err := params.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if emit == nil {
+		return nil, errors.New("poi: nil emit callback")
+	}
+	e := &Extractor{params: p, emit: emit}
+	e.entry.span = p.Window
+	e.exit.span = p.Window
+	return e, nil
+}
+
+// Feed processes the next point. Points must be in non-decreasing time
+// order; violations return an error and leave the extractor unchanged.
+func (e *Extractor) Feed(p trace.Point) error {
+	if e.anyPoint && p.T.Before(e.last) {
+		return fmt.Errorf("poi: out-of-order point %v before %v", p.T, e.last)
+	}
+	if e.anyPoint && p.T.Sub(e.last) > e.params.MaxGap {
+		// Trace break: close any open stay and restart cleanly.
+		e.closePoI()
+		e.entry.reset()
+		e.exit.reset()
+	}
+	e.last = p.T
+	e.anyPoint = true
+
+	if e.inPoI {
+		e.feedInside(p)
+	} else {
+		e.feedSearching(p)
+	}
+	return nil
+}
+
+func (e *Extractor) feedSearching(p trace.Point) {
+	e.entry.add(p)
+	older, newer, ok := e.entry.halves()
+	if !ok {
+		return
+	}
+	if geo.Distance(older, newer) >= e.params.Radius {
+		return
+	}
+	// The two half-window centroids coincide: the user has entered a
+	// stay region. Seed buf_PoI with the whole entry buffer — the
+	// "overlap" of the paper's buffer layout.
+	e.inPoI = true
+	e.poi.Reset()
+	for _, q := range e.entry.pts {
+		e.poi.Add(q.Pos)
+	}
+	e.poiStart = e.entry.pts[0].T
+	e.poiLast = p.T
+	e.poiN = e.entry.len()
+	e.exit.reset()
+	e.entry.reset()
+}
+
+func (e *Extractor) feedInside(p trace.Point) {
+	e.poi.Add(p.Pos)
+	e.poiN++
+	e.poiLast = p.T
+	e.exit.add(p)
+	if e.exit.len() < 2 {
+		return
+	}
+	if geo.Distance(e.poi.Value(), e.exit.centroid.Value()) <= e.params.Radius {
+		return
+	}
+	// The exit buffer has drifted away from the stay centroid: the user
+	// left. The stay ends when the exit buffer began filling with
+	// departing fixes; remove those fixes from the stay centroid.
+	exitStart := e.exit.pts[0].T
+	for _, q := range e.exit.pts {
+		e.poi.Remove(q.Pos)
+		e.poiN--
+	}
+	e.emitIf(exitStart)
+	// Departing fixes become the next search window.
+	e.inPoI = false
+	e.entry.reset()
+	for _, q := range e.exit.pts {
+		e.entry.add(q)
+	}
+	e.exit.reset()
+}
+
+// emitIf emits the current stay if it lasted at least MinVisit.
+func (e *Extractor) emitIf(end time.Time) {
+	if !e.inPoI {
+		return
+	}
+	if end.Sub(e.poiStart) >= e.params.MinVisit && e.poiN > 0 {
+		e.emit(StayPoint{
+			Pos:     e.poi.Value(),
+			Enter:   e.poiStart,
+			Exit:    end,
+			NPoints: e.poiN,
+		})
+	}
+}
+
+// closePoI ends any open stay at the last seen fix.
+func (e *Extractor) closePoI() {
+	if e.inPoI {
+		e.emitIf(e.poiLast)
+		e.inPoI = false
+		e.poi.Reset()
+		e.poiN = 0
+	}
+}
+
+// Flush signals end of stream, emitting a trailing stay if one is open.
+// The extractor may be reused for another stream afterwards.
+func (e *Extractor) Flush() {
+	e.closePoI()
+	e.entry.reset()
+	e.exit.reset()
+	e.anyPoint = false
+}
+
+// Extract runs the extractor over an entire source and returns the
+// stays in order. It is a convenience for tests and small traces; large
+// experiments feed extractors incrementally.
+func Extract(src trace.Source, params Params) ([]StayPoint, error) {
+	var out []StayPoint
+	ex, err := NewExtractor(params, func(s StayPoint) { out = append(out, s) })
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := ex.Feed(p); err != nil {
+			return nil, err
+		}
+	}
+	ex.Flush()
+	return out, nil
+}

@@ -1,0 +1,161 @@
+package poi
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"locwatch/internal/geo"
+	"locwatch/internal/trace"
+)
+
+// randomItinerary builds a random but realistic day: alternating walks
+// and stays between random venues.
+func randomItinerary(seed int64) *builder {
+	rng := rand.New(rand.NewSource(seed))
+	b := newBuilder(origin, time.Second, seed)
+	legs := 2 + rng.Intn(6)
+	for i := 0; i < legs; i++ {
+		dst := placeAt(rng.Float64()*360, 500+rng.Float64()*4000)
+		b.walk(dst, 1+rng.Float64()*12)
+		b.stay(time.Duration(3+rng.Intn(50))*time.Minute, 5)
+	}
+	return b
+}
+
+func TestPropertyStaysOrderedAndDisjoint(t *testing.T) {
+	f := func(seed int64) bool {
+		b := randomItinerary(seed % 1000)
+		stays, err := Extract(b.source(), DefaultParams())
+		if err != nil {
+			return false
+		}
+		for i, s := range stays {
+			if s.Exit.Before(s.Enter) {
+				return false
+			}
+			if s.Duration() < DefaultParams().MinVisit {
+				return false
+			}
+			if i > 0 && s.Enter.Before(stays[i-1].Exit) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyStaysWithinTraceBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		b := randomItinerary(seed % 1000)
+		if len(b.pts) == 0 {
+			return true
+		}
+		bbox := geo.NewBoundingBox(func() []geo.LatLon {
+			out := make([]geo.LatLon, len(b.pts))
+			for i, p := range b.pts {
+				out[i] = p.Pos
+			}
+			return out
+		}()).Expand(100)
+		first, last := b.pts[0].T, b.pts[len(b.pts)-1].T
+		stays, err := Extract(b.source(), DefaultParams())
+		if err != nil {
+			return false
+		}
+		for _, s := range stays {
+			if !bbox.Contains(s.Pos) {
+				return false
+			}
+			if s.Enter.Before(first) || s.Exit.After(last) {
+				return false
+			}
+			if s.NPoints <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyBothExtractorsAgreeOnStayCountsRoughly(t *testing.T) {
+	// On random clean itineraries the buffer extractor and the
+	// stay-point baseline never differ by more than the number of legs.
+	f := func(seed int64) bool {
+		b := randomItinerary(seed % 1000)
+		buf, err := Extract(b.source(), DefaultParams())
+		if err != nil {
+			return false
+		}
+		sp, err := ExtractStayPoints(trace.NewSliceSource(b.pts), DefaultParams())
+		if err != nil {
+			return false
+		}
+		diff := len(buf) - len(sp)
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCanonicalizerConservesVisits(t *testing.T) {
+	// Total visits across places equals observed stays; dwell sums match.
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, err := NewCanonicalizer(origin, 75)
+		if err != nil {
+			return false
+		}
+		n := int(nRaw)%40 + 1
+		ts := start
+		var wantDwell time.Duration
+		for i := 0; i < n; i++ {
+			pos := placeAt(float64(rng.Intn(8))*45, float64(1+rng.Intn(5))*1000)
+			dwell := time.Duration(10+rng.Intn(120)) * time.Minute
+			c.Observe(stayAt(pos, ts, dwell))
+			wantDwell += dwell
+			ts = ts.Add(dwell + time.Hour)
+		}
+		visits, dwell := 0, time.Duration(0)
+		for _, p := range c.Places() {
+			visits += p.Visits
+			dwell += p.Dwell
+		}
+		return visits == n && dwell == wantDwell && len(c.Visits()) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySamplingNeverAddsStays(t *testing.T) {
+	// Downsampling a trace can shift stay boundaries but must not
+	// manufacture substantially more stays than the full-rate trace.
+	f := func(seed int64, ivRaw uint8) bool {
+		b := randomItinerary(seed % 1000)
+		interval := time.Duration(int(ivRaw)%600+1) * time.Second
+		full, err := Extract(b.source(), DefaultParams())
+		if err != nil {
+			return false
+		}
+		sampled, err := Extract(trace.NewSampler(trace.NewSliceSource(b.pts), interval, 0), DefaultParams())
+		if err != nil {
+			return false
+		}
+		return len(sampled) <= len(full)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,219 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Tail selects which tail of the chi-square distribution a goodness-of-
+// fit decision uses. The paper's prose says it tests "the lower tail";
+// taken literally that rejects suspiciously *good* fits, which
+// contradicts the surrounding text, so TailUpper (the conventional
+// Pearson test) is the default everywhere and TailLower is kept for
+// faithfulness experiments. See DESIGN.md §2.
+type Tail int
+
+const (
+	// TailUpper rejects when the statistic is too large (conventional
+	// Pearson goodness of fit): p = P(X > χ²).
+	TailUpper Tail = iota
+	// TailLower rejects when the statistic is too small, the paper's
+	// literal wording: p = P(X ≤ χ²).
+	TailLower
+)
+
+// String implements fmt.Stringer.
+func (t Tail) String() string {
+	switch t {
+	case TailUpper:
+		return "upper"
+	case TailLower:
+		return "lower"
+	default:
+		return fmt.Sprintf("Tail(%d)", int(t))
+	}
+}
+
+// ErrDegenerate is returned when a test has no usable categories
+// (all expected counts zero, or fewer than two categories).
+var ErrDegenerate = errors.New("stats: degenerate chi-square test")
+
+// GoodnessOfFit is the outcome of a Pearson chi-square test.
+type GoodnessOfFit struct {
+	Statistic float64 // Σ (observed − expected)² / expected
+	DF        int     // degrees of freedom (categories − 1)
+	PValue    float64 // probability in the chosen tail
+	Tail      Tail    // which tail PValue refers to
+}
+
+// Match reports whether the observed distribution is considered to fit
+// the expected one at significance level alpha: the null hypothesis
+// "observed follows expected" is NOT rejected, i.e. PValue ≥ alpha.
+func (g GoodnessOfFit) Match(alpha float64) bool { return g.PValue >= alpha }
+
+// ChiSquareTest runs Pearson's chi-square goodness-of-fit test of the
+// observed counts against the expected counts, which must have the same
+// length. Expected categories with non-positive mass are skipped along
+// with their observations, mirroring the usual practice of only testing
+// categories present in the reference profile; observations in skipped
+// categories therefore do not contribute to the statistic (callers that
+// want novel categories to count must fold them into the expectation
+// first, as core.Profile does with smoothing).
+//
+// The expected counts are rescaled so both distributions have the same
+// total mass, making the test a comparison of shapes, which is how the
+// paper uses it (a short collected trace against a long profile).
+func ChiSquareTest(observed, expected []float64, tail Tail) (GoodnessOfFit, error) {
+	if len(observed) != len(expected) {
+		return GoodnessOfFit{}, fmt.Errorf("stats: observed has %d categories, expected has %d", len(observed), len(expected))
+	}
+	var obsTotal, expTotal float64
+	categories := 0
+	for i := range expected {
+		if expected[i] <= 0 {
+			continue
+		}
+		if observed[i] < 0 {
+			return GoodnessOfFit{}, fmt.Errorf("stats: negative observed count %v in category %d", observed[i], i)
+		}
+		obsTotal += observed[i]
+		expTotal += expected[i]
+		categories++
+	}
+	if categories < 2 || expTotal <= 0 || obsTotal <= 0 {
+		return GoodnessOfFit{}, ErrDegenerate
+	}
+	scale := obsTotal / expTotal
+
+	var stat float64
+	for i := range expected {
+		if expected[i] <= 0 {
+			continue
+		}
+		e := expected[i] * scale
+		d := observed[i] - e
+		stat += d * d / e
+	}
+
+	df := categories - 1
+	g := GoodnessOfFit{Statistic: stat, DF: df, Tail: tail}
+	var err error
+	switch tail {
+	case TailLower:
+		g.PValue, err = ChiSquareCDF(stat, df)
+	default:
+		g.PValue, err = ChiSquareSurvival(stat, df)
+	}
+	if err != nil {
+		return GoodnessOfFit{}, fmt.Errorf("stats: chi-square tail probability: %w", err)
+	}
+	return g, nil
+}
+
+// PaperStatistic computes the statistic exactly as printed in the
+// paper's Formula 1, Σ (c − e)/e, which telescopes to a signed relative
+// mass difference and can be negative. It is retained only so the
+// faithfulness tests can document how it differs from Pearson's
+// statistic; no detector uses it.
+func PaperStatistic(observed, expected []float64) (float64, error) {
+	if len(observed) != len(expected) {
+		return 0, fmt.Errorf("stats: observed has %d categories, expected has %d", len(observed), len(expected))
+	}
+	var stat float64
+	any := false
+	for i := range expected {
+		if expected[i] <= 0 {
+			continue
+		}
+		any = true
+		stat += (observed[i] - expected[i]) / expected[i]
+	}
+	if !any {
+		return 0, ErrDegenerate
+	}
+	return stat, nil
+}
+
+// Entropy returns the Shannon entropy, in bits, of the given
+// probability distribution. Non-positive entries contribute zero (the
+// usual 0·log 0 = 0 convention). The input need not be normalized; it
+// is normalized internally. An all-zero input yields zero entropy.
+func Entropy(probs []float64) float64 {
+	var total float64
+	for _, p := range probs {
+		if p > 0 {
+			total += p
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	var h float64
+	for _, p := range probs {
+		if p <= 0 {
+			continue
+		}
+		q := p / total
+		h -= q * math.Log2(q)
+	}
+	if h < 0 { // guard against -0 from rounding
+		h = 0
+	}
+	return h
+}
+
+// MaxEntropy returns log2(n), the entropy of the uniform distribution
+// over n outcomes (the paper's H(M), Formula 4). n ≤ 1 yields 0.
+func MaxEntropy(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return math.Log2(float64(n))
+}
+
+// DegreeOfAnonymity implements the paper's Formula 5:
+// Deg = H(X) / H(M), the attacker's posterior entropy normalized by
+// the maximum entropy over n candidate profiles. It returns 0 when the
+// posterior is concentrated on a single profile (full identification)
+// and 1 when it is uniform (no information gained). n ≤ 1 yields 0:
+// with at most one candidate the user is trivially identified.
+func DegreeOfAnonymity(probs []float64, n int) float64 {
+	hm := MaxEntropy(n)
+	if hm == 0 {
+		return 0
+	}
+	d := Entropy(probs) / hm
+	if d > 1 {
+		d = 1
+	}
+	return d
+}
+
+// NormalizeWeights converts non-negative weights into a probability
+// distribution. A zero-sum input returns the uniform distribution over
+// the same support size (the attacker has learned nothing).
+func NormalizeWeights(weights []float64) []float64 {
+	out := make([]float64, len(weights))
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		if len(weights) > 0 {
+			u := 1 / float64(len(weights))
+			for i := range out {
+				out[i] = u
+			}
+		}
+		return out
+	}
+	for i, w := range weights {
+		if w > 0 {
+			out[i] = w / total
+		}
+	}
+	return out
+}

@@ -1,0 +1,282 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestChiSquareTestPerfectFit(t *testing.T) {
+	obs := []float64{10, 20, 30, 40}
+	exp := []float64{10, 20, 30, 40}
+	g, err := ChiSquareTest(obs, exp, TailUpper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Statistic != 0 {
+		t.Errorf("Statistic = %v, want 0", g.Statistic)
+	}
+	if g.DF != 3 {
+		t.Errorf("DF = %d, want 3", g.DF)
+	}
+	if g.PValue != 1 {
+		t.Errorf("upper-tail p of perfect fit = %v, want 1", g.PValue)
+	}
+	if !g.Match(0.05) {
+		t.Error("perfect fit should match at alpha=0.05")
+	}
+}
+
+func TestChiSquareTestScaleInvariance(t *testing.T) {
+	// The expected histogram is rescaled to the observed mass, so
+	// multiplying the profile by a constant must not change the result.
+	obs := []float64{5, 9, 2, 7}
+	exp := []float64{10, 20, 5, 15}
+	g1, err := ChiSquareTest(obs, exp, TailUpper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled := make([]float64, len(exp))
+	for i, e := range exp {
+		scaled[i] = e * 7.3
+	}
+	g2, err := ChiSquareTest(obs, scaled, TailUpper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g1.Statistic-g2.Statistic) > 1e-9 {
+		t.Errorf("statistic changed under profile scaling: %v vs %v", g1.Statistic, g2.Statistic)
+	}
+}
+
+func TestChiSquareTestGrossMismatch(t *testing.T) {
+	obs := []float64{100, 0, 0, 0}
+	exp := []float64{25, 25, 25, 25}
+	g, err := ChiSquareTest(obs, exp, TailUpper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Match(0.05) {
+		t.Errorf("gross mismatch passed as match (p=%v, stat=%v)", g.PValue, g.Statistic)
+	}
+	if g.Statistic < 100 {
+		t.Errorf("statistic %v unexpectedly small", g.Statistic)
+	}
+}
+
+func TestChiSquareTestSkipsZeroExpectation(t *testing.T) {
+	obs := []float64{10, 10, 99}
+	exp := []float64{10, 10, 0}
+	g, err := ChiSquareTest(obs, exp, TailUpper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.DF != 1 {
+		t.Errorf("DF = %d, want 1 (zero-expectation category skipped)", g.DF)
+	}
+	if g.Statistic != 0 {
+		t.Errorf("Statistic = %v, want 0 once the unmatched category is skipped", g.Statistic)
+	}
+}
+
+func TestChiSquareTestErrors(t *testing.T) {
+	if _, err := ChiSquareTest([]float64{1}, []float64{1, 2}, TailUpper); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := ChiSquareTest([]float64{1}, []float64{1}, TailUpper); !errors.Is(err, ErrDegenerate) {
+		t.Errorf("single category should be ErrDegenerate, got %v", err)
+	}
+	if _, err := ChiSquareTest([]float64{0, 0}, []float64{1, 1}, TailUpper); !errors.Is(err, ErrDegenerate) {
+		t.Errorf("zero observed mass should be ErrDegenerate, got %v", err)
+	}
+	if _, err := ChiSquareTest([]float64{-1, 2}, []float64{1, 1}, TailUpper); err == nil {
+		t.Error("negative observation should error")
+	}
+}
+
+func TestChiSquareTestTails(t *testing.T) {
+	obs := []float64{12, 18, 31, 39}
+	exp := []float64{10, 20, 30, 40}
+	up, err := ChiSquareTest(obs, exp, TailUpper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := ChiSquareTest(obs, exp, TailLower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(up.PValue+lo.PValue-1) > 1e-9 {
+		t.Errorf("upper (%v) and lower (%v) tails are not complementary", up.PValue, lo.PValue)
+	}
+	if up.Tail != TailUpper || lo.Tail != TailLower {
+		t.Error("Tail field not recorded")
+	}
+}
+
+func TestTailString(t *testing.T) {
+	if TailUpper.String() != "upper" || TailLower.String() != "lower" {
+		t.Error("Tail.String mismatch")
+	}
+	if Tail(42).String() != "Tail(42)" {
+		t.Errorf("unknown tail String = %q", Tail(42).String())
+	}
+}
+
+func TestChiSquareTestFalsePositiveRate(t *testing.T) {
+	// Draw observations from the profile distribution itself; the test
+	// should reject roughly alpha of the time. With 300 trials at
+	// alpha=0.05 we accept anything below 12%.
+	rng := rand.New(rand.NewSource(21))
+	exp := []float64{50, 30, 15, 5}
+	probs := NormalizeWeights(exp)
+	rejects := 0
+	const trials = 300
+	for trial := 0; trial < trials; trial++ {
+		obs := make([]float64, len(exp))
+		for i := 0; i < 400; i++ {
+			obs[sampleIndex(rng, probs)]++
+		}
+		g, err := ChiSquareTest(obs, exp, TailUpper)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.Match(0.05) {
+			rejects++
+		}
+	}
+	if rate := float64(rejects) / trials; rate > 0.12 {
+		t.Errorf("false positive rate %.3f, want ≲ 0.05", rate)
+	}
+}
+
+func TestChiSquareTestPower(t *testing.T) {
+	// Observations from a clearly different distribution should be
+	// rejected nearly always.
+	rng := rand.New(rand.NewSource(22))
+	exp := []float64{50, 30, 15, 5}
+	alt := NormalizeWeights([]float64{5, 15, 30, 50})
+	rejects := 0
+	const trials = 100
+	for trial := 0; trial < trials; trial++ {
+		obs := make([]float64, len(exp))
+		for i := 0; i < 400; i++ {
+			obs[sampleIndex(rng, alt)]++
+		}
+		g, err := ChiSquareTest(obs, exp, TailUpper)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.Match(0.05) {
+			rejects++
+		}
+	}
+	if rejects < trials*95/100 {
+		t.Errorf("power too low: rejected %d/%d", rejects, trials)
+	}
+}
+
+func TestPaperStatistic(t *testing.T) {
+	// Documents why Formula 1 as printed is not Pearson's statistic:
+	// with equal totals it telescopes to ~0 even for a gross mismatch.
+	obs := []float64{100, 0}
+	exp := []float64{50, 50}
+	got, err := PaperStatistic(obs, exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-((100-50)/50.0+(0-50)/50.0)) > 1e-12 {
+		t.Errorf("PaperStatistic = %v", got)
+	}
+	if math.Abs(got) > 1e-9 {
+		t.Errorf("telescoped statistic should be ~0 here, got %v", got)
+	}
+	if _, err := PaperStatistic([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := PaperStatistic([]float64{1, 2}, []float64{0, 0}); !errors.Is(err, ErrDegenerate) {
+		t.Error("all-zero expectation should be ErrDegenerate")
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if got := Entropy(nil); got != 0 {
+		t.Errorf("Entropy(nil) = %v", got)
+	}
+	if got := Entropy([]float64{0, 0}); got != 0 {
+		t.Errorf("Entropy(zeros) = %v", got)
+	}
+	if got := Entropy([]float64{1}); got != 0 {
+		t.Errorf("Entropy(point mass) = %v", got)
+	}
+	if got := Entropy([]float64{0.5, 0.5}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Entropy(uniform 2) = %v, want 1", got)
+	}
+	if got := Entropy([]float64{1, 1, 1, 1}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Entropy(uniform 4, unnormalized) = %v, want 2", got)
+	}
+	// Entropy is maximal for the uniform distribution.
+	if Entropy([]float64{0.7, 0.1, 0.1, 0.1}) >= 2 {
+		t.Error("skewed distribution should have entropy < log2(4)")
+	}
+}
+
+func TestDegreeOfAnonymity(t *testing.T) {
+	if got := DegreeOfAnonymity([]float64{1}, 1); got != 0 {
+		t.Errorf("single candidate: %v, want 0", got)
+	}
+	if got := DegreeOfAnonymity([]float64{0.25, 0.25, 0.25, 0.25}, 4); math.Abs(got-1) > 1e-12 {
+		t.Errorf("uniform over all candidates: %v, want 1", got)
+	}
+	if got := DegreeOfAnonymity([]float64{1, 0, 0, 0}, 4); got != 0 {
+		t.Errorf("fully identified: %v, want 0", got)
+	}
+	// Subset match: uniform over 2 of 4 profiles = 1 bit / 2 bits.
+	if got := DegreeOfAnonymity([]float64{0.5, 0.5, 0, 0}, 4); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("half-identified: %v, want 0.5", got)
+	}
+}
+
+func TestNormalizeWeights(t *testing.T) {
+	got := NormalizeWeights([]float64{2, 6, 0, 2})
+	want := []float64{0.2, 0.6, 0, 0.2}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("NormalizeWeights = %v, want %v", got, want)
+		}
+	}
+	// Zero-sum falls back to uniform.
+	got = NormalizeWeights([]float64{0, 0})
+	if got[0] != 0.5 || got[1] != 0.5 {
+		t.Fatalf("zero-sum normalize = %v, want uniform", got)
+	}
+	if out := NormalizeWeights(nil); len(out) != 0 {
+		t.Fatalf("nil input should give empty output, got %v", out)
+	}
+	// Negative weights are treated as zero mass.
+	got = NormalizeWeights([]float64{-5, 5})
+	if got[0] != 0 || got[1] != 1 {
+		t.Fatalf("negative weight handling = %v", got)
+	}
+}
+
+func TestMaxEntropy(t *testing.T) {
+	if MaxEntropy(0) != 0 || MaxEntropy(1) != 0 {
+		t.Error("MaxEntropy of ≤1 outcomes should be 0")
+	}
+	if math.Abs(MaxEntropy(8)-3) > 1e-12 {
+		t.Errorf("MaxEntropy(8) = %v, want 3", MaxEntropy(8))
+	}
+}
+
+func sampleIndex(rng *rand.Rand, probs []float64) int {
+	r := rng.Float64()
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		if r < acc {
+			return i
+		}
+	}
+	return len(probs) - 1
+}

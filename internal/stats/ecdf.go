@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ECDF is an empirical cumulative distribution function built from a
+// sample. It backs every CDF figure in the paper (Figure 1, Figure 4a/b).
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from the sample. The input slice is copied.
+func NewECDF(sample []float64) *ECDF {
+	s := make([]float64, len(sample))
+	copy(s, sample)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// N returns the sample size.
+func (e *ECDF) N() int { return len(e.sorted) }
+
+// At returns the fraction of the sample ≤ x, in [0, 1]. An empty ECDF
+// returns 0 everywhere.
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	idx := sort.SearchFloat64s(e.sorted, x)
+	// SearchFloat64s returns the first index with sorted[i] >= x; walk
+	// forward over equal values to make the CDF right-continuous (≤ x).
+	for idx < len(e.sorted) && e.sorted[idx] == x {
+		idx++
+	}
+	return float64(idx) / float64(len(e.sorted))
+}
+
+// Quantile returns the smallest sample value v with At(v) ≥ p, for
+// p in (0, 1]. Quantile of an empty ECDF is 0.
+func (e *ECDF) Quantile(p float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return e.sorted[0]
+	}
+	if p >= 1 {
+		return e.sorted[len(e.sorted)-1]
+	}
+	idx := int(p*float64(len(e.sorted))+0.999999) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(e.sorted) {
+		idx = len(e.sorted) - 1
+	}
+	return e.sorted[idx]
+}
+
+// Min returns the smallest sample value (0 when empty).
+func (e *ECDF) Min() float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	return e.sorted[0]
+}
+
+// Max returns the largest sample value (0 when empty).
+func (e *ECDF) Max() float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	return e.sorted[len(e.sorted)-1]
+}
+
+// Points returns (x, y) pairs sampled at every distinct sample value,
+// suitable for plotting a step CDF.
+func (e *ECDF) Points() (xs, ys []float64) {
+	for i, v := range e.sorted {
+		if i+1 < len(e.sorted) && e.sorted[i+1] == v {
+			continue
+		}
+		xs = append(xs, v)
+		ys = append(ys, float64(i+1)/float64(len(e.sorted)))
+	}
+	return xs, ys
+}
+
+// Table renders the CDF evaluated at the given cut points as an aligned
+// text table with the given value label, e.g.:
+//
+//	interval(s)  fraction
+//	        10      0.578
+func (e *ECDF) Table(label string, cuts []float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%12s  %8s\n", label, "fraction")
+	for _, c := range cuts {
+		fmt.Fprintf(&b, "%12g  %8.3f\n", c, e.At(c))
+	}
+	return b.String()
+}
+
+// Mean returns the sample mean (0 when empty).
+func (e *ECDF) Mean() float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range e.sorted {
+		s += v
+	}
+	return s / float64(len(e.sorted))
+}

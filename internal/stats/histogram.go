@@ -1,0 +1,173 @@
+package stats
+
+import (
+	"sort"
+)
+
+// Histogram is a count histogram over string-keyed categories. Both of
+// the paper's user profiles are histograms of this shape:
+//
+//   - pattern 1: key = canonical place (region) ID, value = visit count;
+//   - pattern 2: key = movement pattern "place_i→place_j", value = the
+//     number of times the transition happened.
+//
+// The zero value is an empty histogram ready for use.
+type Histogram struct {
+	counts map[string]float64
+	total  float64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[string]float64)}
+}
+
+// Add increments the count of key by w (typically 1). Non-positive
+// weights are ignored.
+func (h *Histogram) Add(key string, w float64) {
+	if w <= 0 {
+		return
+	}
+	if h.counts == nil {
+		h.counts = make(map[string]float64)
+	}
+	h.counts[key] += w
+	h.total += w
+}
+
+// Inc increments the count of key by one.
+func (h *Histogram) Inc(key string) { h.Add(key, 1) }
+
+// Count returns the count of key, zero if absent.
+func (h *Histogram) Count(key string) float64 {
+	return h.counts[key]
+}
+
+// Total returns the sum of all counts.
+func (h *Histogram) Total() float64 { return h.total }
+
+// Len returns the number of distinct keys.
+func (h *Histogram) Len() int { return len(h.counts) }
+
+// Keys returns the keys in sorted order for deterministic iteration.
+func (h *Histogram) Keys() []string {
+	keys := make([]string, 0, len(h.counts))
+	for k := range h.counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Clone returns a deep copy.
+func (h *Histogram) Clone() *Histogram {
+	c := &Histogram{counts: make(map[string]float64, len(h.counts)), total: h.total}
+	for k, v := range h.counts {
+		c.counts[k] = v
+	}
+	return c
+}
+
+// Scaled returns a copy of the histogram with every count multiplied
+// by factor (which must be positive; otherwise the clone is returned
+// unscaled). Scaling the observed histogram to an effective sample size
+// is how the privacy model applies a design-effect correction for
+// autocorrelated samples.
+func (h *Histogram) Scaled(factor float64) *Histogram {
+	c := h.Clone()
+	if factor <= 0 || factor == 1 {
+		return c
+	}
+	for k := range c.counts {
+		c.counts[k] *= factor
+	}
+	c.total *= factor
+	return c
+}
+
+// Reset empties the histogram in place, retaining allocated capacity.
+func (h *Histogram) Reset() {
+	for k := range h.counts {
+		delete(h.counts, k)
+	}
+	h.total = 0
+}
+
+// Aligned materializes observed-vs-expected count vectors over the
+// union of the two histograms' keys, in sorted key order. Keys present
+// only in obs get expected count 0 (and are then subject to
+// ChiSquareTest's zero-expectation skipping); keys present only in exp
+// get observed count 0. The returned keys slice parallels both vectors.
+func Aligned(obs, exp *Histogram) (keys []string, observed, expected []float64) {
+	seen := make(map[string]struct{}, obs.Len()+exp.Len())
+	for k := range obs.counts {
+		seen[k] = struct{}{}
+	}
+	for k := range exp.counts {
+		seen[k] = struct{}{}
+	}
+	keys = make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	observed = make([]float64, len(keys))
+	expected = make([]float64, len(keys))
+	for i, k := range keys {
+		observed[i] = obs.Count(k)
+		expected[i] = exp.Count(k)
+	}
+	return keys, observed, expected
+}
+
+// CompareHistograms runs the chi-square goodness-of-fit test of obs
+// against the reference profile exp. smoothing, when positive, is added
+// to every expected category (Laplace smoothing) so that observations
+// in categories absent from the profile count as evidence of mismatch
+// instead of being silently dropped.
+//
+// poolShare, when positive, applies the standard minimum-expected-count
+// practice: categories holding less than poolShare of the expected mass
+// are pooled into a single residual category (on both sides) before the
+// test, which keeps the degrees of freedom honest when the reference
+// has a long tail of rare categories.
+func CompareHistograms(obs, exp *Histogram, smoothing, poolShare float64, tail Tail) (GoodnessOfFit, error) {
+	_, observed, expected := Aligned(obs, exp)
+	if smoothing > 0 {
+		for i := range expected {
+			expected[i] += smoothing
+		}
+	}
+	if poolShare > 0 {
+		observed, expected = poolSmallCategories(observed, expected, poolShare)
+	}
+	return ChiSquareTest(observed, expected, tail)
+}
+
+// poolSmallCategories merges every category whose expected share is
+// below minShare into one residual category appended at the end.
+func poolSmallCategories(observed, expected []float64, minShare float64) (obs, exp []float64) {
+	var expTotal float64
+	for _, e := range expected {
+		expTotal += e
+	}
+	if expTotal <= 0 {
+		return observed, expected
+	}
+	cut := expTotal * minShare
+	var poolObs, poolExp float64
+	for i := range expected {
+		if expected[i] < cut {
+			poolObs += observed[i]
+			poolExp += expected[i]
+			continue
+		}
+		obs = append(obs, observed[i])
+		exp = append(exp, expected[i])
+	}
+	if poolExp > 0 || poolObs > 0 {
+		obs = append(obs, poolObs)
+		exp = append(exp, poolExp)
+	}
+	return obs, exp
+}

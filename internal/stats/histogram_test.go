@@ -1,0 +1,385 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Len() != 0 || h.Total() != 0 {
+		t.Fatal("new histogram not empty")
+	}
+	h.Inc("a")
+	h.Inc("a")
+	h.Add("b", 3)
+	h.Add("c", 0)  // ignored
+	h.Add("c", -1) // ignored
+	if h.Count("a") != 2 {
+		t.Errorf("Count(a) = %v", h.Count("a"))
+	}
+	if h.Count("b") != 3 {
+		t.Errorf("Count(b) = %v", h.Count("b"))
+	}
+	if h.Count("missing") != 0 {
+		t.Errorf("Count(missing) = %v", h.Count("missing"))
+	}
+	if h.Total() != 5 {
+		t.Errorf("Total = %v", h.Total())
+	}
+	if h.Len() != 2 {
+		t.Errorf("Len = %d", h.Len())
+	}
+	keys := h.Keys()
+	if !sort.StringsAreSorted(keys) || len(keys) != 2 {
+		t.Errorf("Keys = %v", keys)
+	}
+}
+
+func TestHistogramZeroValueUsable(t *testing.T) {
+	var h Histogram
+	h.Inc("x")
+	if h.Count("x") != 1 || h.Total() != 1 {
+		t.Fatal("zero-value Histogram not usable")
+	}
+}
+
+func TestHistogramCloneIndependent(t *testing.T) {
+	h := NewHistogram()
+	h.Add("a", 2)
+	c := h.Clone()
+	c.Inc("a")
+	c.Inc("b")
+	if h.Count("a") != 2 || h.Len() != 1 {
+		t.Fatal("Clone shares state with original")
+	}
+	if c.Count("a") != 3 || c.Total() != 4 {
+		t.Fatal("Clone lost state")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Add("a", 5)
+	h.Reset()
+	if h.Len() != 0 || h.Total() != 0 || h.Count("a") != 0 {
+		t.Fatal("Reset did not clear")
+	}
+	h.Inc("b")
+	if h.Total() != 1 {
+		t.Fatal("histogram unusable after Reset")
+	}
+}
+
+func TestAligned(t *testing.T) {
+	obs := NewHistogram()
+	obs.Add("a", 1)
+	obs.Add("c", 3)
+	exp := NewHistogram()
+	exp.Add("a", 10)
+	exp.Add("b", 20)
+	keys, o, e := Aligned(obs, exp)
+	if len(keys) != 3 || keys[0] != "a" || keys[1] != "b" || keys[2] != "c" {
+		t.Fatalf("keys = %v", keys)
+	}
+	wantO := []float64{1, 0, 3}
+	wantE := []float64{10, 20, 0}
+	for i := range keys {
+		if o[i] != wantO[i] || e[i] != wantE[i] {
+			t.Fatalf("aligned obs=%v exp=%v", o, e)
+		}
+	}
+}
+
+func TestAlignedTotalInvariant(t *testing.T) {
+	// Property: alignment preserves both totals, whatever the key sets.
+	f := func(aKeys, bKeys []uint8) bool {
+		obs := NewHistogram()
+		exp := NewHistogram()
+		for _, k := range aKeys {
+			obs.Inc(string(rune('a' + k%26)))
+		}
+		for _, k := range bKeys {
+			exp.Inc(string(rune('a' + k%26)))
+		}
+		_, o, e := Aligned(obs, exp)
+		var so, se float64
+		for i := range o {
+			so += o[i]
+			se += e[i]
+		}
+		return so == obs.Total() && se == exp.Total()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareHistogramsSelfMatch(t *testing.T) {
+	h := NewHistogram()
+	h.Add("home→work", 40)
+	h.Add("work→home", 38)
+	h.Add("home→gym", 10)
+	g, err := CompareHistograms(h, h, 0, 0, TailUpper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Match(0.05) || g.Statistic != 0 {
+		t.Fatalf("histogram does not match itself: %+v", g)
+	}
+}
+
+func TestCompareHistogramsSmoothingCatchesNovelKeys(t *testing.T) {
+	// Without smoothing, observations in categories absent from the
+	// profile are dropped; with smoothing they count as mismatch.
+	obs := NewHistogram()
+	obs.Add("novel", 100)
+	obs.Add("a", 1)
+	exp := NewHistogram()
+	exp.Add("a", 50)
+	exp.Add("b", 50)
+
+	unsmoothed, err := CompareHistograms(obs, exp, 0, 0, TailUpper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smoothed, err := CompareHistograms(obs, exp, 0.5, 0, TailUpper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smoothed.Statistic <= unsmoothed.Statistic {
+		t.Fatalf("smoothing should raise the statistic: %v vs %v",
+			smoothed.Statistic, unsmoothed.Statistic)
+	}
+	if smoothed.Match(0.05) {
+		t.Fatalf("100 observations in a novel category should not match (p=%v)", smoothed.PValue)
+	}
+}
+
+func TestCompareHistogramsSubsampleMatches(t *testing.T) {
+	// A random subsample of a profile should still match it — the key
+	// property the His_bin detector relies on.
+	rng := rand.New(rand.NewSource(31))
+	exp := NewHistogram()
+	keys := []string{"h→w", "w→h", "h→g", "g→w", "w→r", "r→h"}
+	weights := []float64{40, 38, 12, 12, 6, 6}
+	for i, k := range keys {
+		exp.Add(k, weights[i])
+	}
+	probs := NormalizeWeights(weights)
+	obs := NewHistogram()
+	for i := 0; i < 120; i++ {
+		obs.Inc(keys[sampleIndex(rng, probs)])
+	}
+	g, err := CompareHistograms(obs, exp, 0.5, 0, TailUpper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Match(0.05) {
+		t.Fatalf("subsample of profile rejected: %+v", g)
+	}
+}
+
+func TestECDFBasics(t *testing.T) {
+	e := NewECDF([]float64{5, 1, 3, 3, 9})
+	if e.N() != 5 {
+		t.Errorf("N = %d", e.N())
+	}
+	tests := []struct {
+		x    float64
+		want float64
+	}{
+		{0, 0}, {1, 0.2}, {2.9, 0.2}, {3, 0.6}, {5, 0.8}, {9, 1}, {100, 1},
+	}
+	for _, tt := range tests {
+		if got := e.At(tt.x); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+	if e.Min() != 1 || e.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", e.Min(), e.Max())
+	}
+	if got := e.Mean(); math.Abs(got-4.2) > 1e-12 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestECDFEmpty(t *testing.T) {
+	e := NewECDF(nil)
+	if e.At(5) != 0 || e.N() != 0 || e.Min() != 0 || e.Max() != 0 || e.Mean() != 0 || e.Quantile(0.5) != 0 {
+		t.Fatal("empty ECDF misbehaves")
+	}
+}
+
+func TestECDFQuantile(t *testing.T) {
+	e := NewECDF([]float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0.1, 10}, {0.5, 50}, {0.95, 100}, {1, 100}, {0, 10}, {-1, 10}, {2, 100},
+	}
+	for _, tt := range tests {
+		if got := e.Quantile(tt.p); got != tt.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestECDFMonotone(t *testing.T) {
+	f := func(sample []float64) bool {
+		if len(sample) == 0 {
+			return true
+		}
+		for i := range sample {
+			if math.IsNaN(sample[i]) || math.IsInf(sample[i], 0) {
+				return true
+			}
+		}
+		e := NewECDF(sample)
+		prev := -1.0
+		xs, _ := e.Points()
+		for _, x := range xs {
+			y := e.At(x)
+			if y < prev {
+				return false
+			}
+			prev = y
+		}
+		return e.At(e.Max()) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestECDFPoints(t *testing.T) {
+	e := NewECDF([]float64{1, 1, 2, 3})
+	xs, ys := e.Points()
+	wantX := []float64{1, 2, 3}
+	wantY := []float64{0.5, 0.75, 1}
+	if len(xs) != 3 {
+		t.Fatalf("Points xs = %v", xs)
+	}
+	for i := range wantX {
+		if xs[i] != wantX[i] || math.Abs(ys[i]-wantY[i]) > 1e-12 {
+			t.Fatalf("Points = %v, %v", xs, ys)
+		}
+	}
+}
+
+func TestECDFTable(t *testing.T) {
+	e := NewECDF([]float64{5, 15, 300})
+	out := e.Table("interval(s)", []float64{10, 60, 600})
+	if !strings.Contains(out, "interval(s)") || !strings.Contains(out, "0.333") {
+		t.Errorf("unexpected table:\n%s", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines != 4 {
+		t.Errorf("table has %d lines, want 4", lines)
+	}
+}
+
+func TestECDFDoesNotAliasInput(t *testing.T) {
+	sample := []float64{3, 1, 2}
+	e := NewECDF(sample)
+	sample[0] = 100
+	if e.Max() != 3 {
+		t.Fatal("ECDF aliases its input slice")
+	}
+}
+
+func BenchmarkCompareHistograms(b *testing.B) {
+	rng := rand.New(rand.NewSource(41))
+	exp := NewHistogram()
+	for i := 0; i < 60; i++ {
+		exp.Add(string(rune('A'+i%26))+string(rune('a'+i/26)), rng.Float64()*50+1)
+	}
+	obs := exp.Clone()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CompareHistograms(obs, exp, 0.5, 0, TailUpper); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestHistogramScaled(t *testing.T) {
+	h := NewHistogram()
+	h.Add("a", 10)
+	h.Add("b", 30)
+	s := h.Scaled(0.25)
+	if s.Count("a") != 2.5 || s.Count("b") != 7.5 || s.Total() != 10 {
+		t.Fatalf("Scaled(0.25): %v/%v total %v", s.Count("a"), s.Count("b"), s.Total())
+	}
+	// Original untouched.
+	if h.Count("a") != 10 || h.Total() != 40 {
+		t.Fatal("Scaled mutated the original")
+	}
+	// Factor 1 and non-positive factors return an unscaled clone.
+	if c := h.Scaled(1); c.Total() != 40 {
+		t.Fatal("Scaled(1) changed mass")
+	}
+	if c := h.Scaled(0); c.Total() != 40 {
+		t.Fatal("Scaled(0) should clone unscaled")
+	}
+	if c := h.Scaled(-2); c.Total() != 40 {
+		t.Fatal("Scaled(-2) should clone unscaled")
+	}
+}
+
+func TestCompareHistogramsPooling(t *testing.T) {
+	// A reference with two big categories and many tiny ones: pooling
+	// merges the tail, shrinking the degrees of freedom.
+	exp := NewHistogram()
+	exp.Add("big1", 500)
+	exp.Add("big2", 450)
+	for i := 0; i < 20; i++ {
+		exp.Add(string(rune('a'+i)), 1) // 20 categories at ~0.1% each
+	}
+	obs := exp.Clone()
+
+	unpooled, err := CompareHistograms(obs, exp, 0, 0, TailUpper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := CompareHistograms(obs, exp, 0, 0.02, TailUpper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unpooled.DF != 21 {
+		t.Fatalf("unpooled DF = %d, want 21", unpooled.DF)
+	}
+	if pooled.DF != 2 { // big1, big2, residual pool
+		t.Fatalf("pooled DF = %d, want 2", pooled.DF)
+	}
+	if !pooled.Match(0.05) {
+		t.Fatal("identical histograms should match after pooling")
+	}
+}
+
+func TestPoolingPreservesMass(t *testing.T) {
+	obs := []float64{5, 1, 1, 1, 90}
+	exp := []float64{50, 1, 1, 1, 47}
+	pObs, pExp := poolSmallCategories(obs, exp, 0.05)
+	var so, se, wo, we float64
+	for i := range obs {
+		wo += obs[i]
+		we += exp[i]
+	}
+	for i := range pObs {
+		so += pObs[i]
+		se += pExp[i]
+	}
+	if so != wo || se != we {
+		t.Fatalf("pooling changed mass: %v/%v vs %v/%v", so, se, wo, we)
+	}
+	if len(pObs) != 3 { // 50, 47, pool(1+1+1)
+		t.Fatalf("pooled to %d categories, want 3", len(pObs))
+	}
+}

@@ -1,0 +1,35 @@
+package plt
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks that the PLT parser never panics and that whatever
+// it accepts round-trips through the writer.
+func FuzzRead(f *testing.F) {
+	f.Add(sampleFile)
+	f.Add("")
+	f.Add("Geolife trajectory\nWGS 84\nAltitude is in Feet\nReserved 3\nx\n0\n")
+	f.Add(strings.Repeat("a,b,c,d,e,f,g\n", 10))
+	f.Add("1\n2\n3\n4\n5\n6\n39.9,116.4,0,0,40097.5,2009-10-11,14:04:30\n")
+	f.Add("1\n2\n3\n4\n5\n6\n999,116.4,0,0,40097.5,2009-10-11,14:04:30\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := Read(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		// Accepted input must serialize and re-parse to the same size.
+		var sb strings.Builder
+		if err := Write(&sb, tr.Points); err != nil {
+			t.Fatalf("write after successful read: %v", err)
+		}
+		back, err := Read(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("re-read of own output: %v", err)
+		}
+		if back.Len() != tr.Len() {
+			t.Fatalf("round trip changed size: %d → %d", tr.Len(), back.Len())
+		}
+	})
+}

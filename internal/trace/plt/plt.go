@@ -1,0 +1,243 @@
+// Package plt reads and writes the GeoLife PLT trajectory format, so
+// the library can consume the real GeoLife dataset the paper evaluates
+// on, and so the synthetic substitute can be written in the identical
+// on-disk layout (Data/<user>/Trajectory/<stamp>.plt).
+//
+// A PLT file has six header lines (ignored on read, reproduced on
+// write) followed by one record per fix:
+//
+//	lat,lon,0,altitudeFt,daysSince1899,date,time
+//
+// e.g. 39.906631,116.385564,0,492,40097.5864583333,2009-10-11,14:04:30.
+// Timestamps are interpreted in UTC, matching the GeoLife user guide.
+package plt
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"locwatch/internal/geo"
+	"locwatch/internal/trace"
+)
+
+// header is the fixed six-line preamble GeoLife files carry.
+const header = "Geolife trajectory\n" +
+	"WGS 84\n" +
+	"Altitude is in Feet\n" +
+	"Reserved 3\n" +
+	"0,2,255,My Track,0,0,2,8421376\n" +
+	"0\n"
+
+// headerLines is the number of preamble lines to skip on read.
+const headerLines = 6
+
+// excelEpoch is day zero of the PLT serial-date column (1899-12-30).
+var excelEpoch = time.Date(1899, 12, 30, 0, 0, 0, 0, time.UTC)
+
+// ErrBadRecord wraps per-line parse failures.
+var ErrBadRecord = errors.New("plt: malformed record")
+
+// Read parses a PLT stream into a Trace. Lines that fail to parse
+// return an error wrapping ErrBadRecord with the line number.
+func Read(r io.Reader) (*trace.Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	tr := &trace.Trace{}
+	line := 0
+	for sc.Scan() {
+		line++
+		if line <= headerLines {
+			continue
+		}
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		p, err := parseRecord(text)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		tr.Points = append(tr.Points, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("plt: read: %w", err)
+	}
+	tr.Sort()
+	return tr, nil
+}
+
+func parseRecord(text string) (trace.Point, error) {
+	fields := strings.Split(text, ",")
+	if len(fields) != 7 {
+		return trace.Point{}, fmt.Errorf("%w: %d fields", ErrBadRecord, len(fields))
+	}
+	lat, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return trace.Point{}, fmt.Errorf("%w: latitude: %v", ErrBadRecord, err)
+	}
+	lon, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil {
+		return trace.Point{}, fmt.Errorf("%w: longitude: %v", ErrBadRecord, err)
+	}
+	pos := geo.LatLon{Lat: lat, Lon: lon}
+	if !pos.Valid() {
+		return trace.Point{}, fmt.Errorf("%w: coordinate %v out of range", ErrBadRecord, pos)
+	}
+	ts, err := time.Parse("2006-01-02 15:04:05", fields[5]+" "+fields[6])
+	if err != nil {
+		return trace.Point{}, fmt.Errorf("%w: timestamp: %v", ErrBadRecord, err)
+	}
+	return trace.Point{Pos: pos, T: ts.UTC()}, nil
+}
+
+// Write serializes the points to w in PLT format, including the
+// standard header. Altitude is written as 0 feet (the synthetic data
+// has no altitude channel).
+func Write(w io.Writer, pts []trace.Point) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(header); err != nil {
+		return fmt.Errorf("plt: write header: %w", err)
+	}
+	for _, p := range pts {
+		t := p.T.UTC()
+		serial := float64(t.Sub(excelEpoch)) / float64(24*time.Hour)
+		if _, err := fmt.Fprintf(bw, "%.6f,%.6f,0,0,%.10f,%s,%s\n",
+			p.Pos.Lat, p.Pos.Lon, serial,
+			t.Format("2006-01-02"), t.Format("15:04:05")); err != nil {
+			return fmt.Errorf("plt: write record: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("plt: flush: %w", err)
+	}
+	return nil
+}
+
+// ReadFile reads a single .plt file.
+func ReadFile(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("plt: %w", err)
+	}
+	defer f.Close()
+	tr, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("plt: %s: %w", path, err)
+	}
+	return tr, nil
+}
+
+// WriteFile writes a single .plt file, creating parent directories.
+func WriteFile(path string, pts []trace.Point) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("plt: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("plt: %w", err)
+	}
+	if err := Write(f, pts); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("plt: close %s: %w", path, err)
+	}
+	return nil
+}
+
+// User is one user directory of a GeoLife-layout dataset.
+type User struct {
+	ID    string   // directory name, e.g. "000"
+	Files []string // trajectory files, sorted
+}
+
+// ScanDataset walks a GeoLife-layout root (root/<user>/Trajectory/*.plt)
+// and returns the users found, sorted by ID. Users without any .plt
+// files are skipped.
+func ScanDataset(root string) ([]User, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, fmt.Errorf("plt: scan %s: %w", root, err)
+	}
+	var users []User
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(root, e.Name(), "Trajectory")
+		var files []string
+		walkErr := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.EqualFold(filepath.Ext(path), ".plt") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if walkErr != nil {
+			if errors.Is(walkErr, fs.ErrNotExist) {
+				continue
+			}
+			return nil, fmt.Errorf("plt: scan %s: %w", dir, walkErr)
+		}
+		if len(files) == 0 {
+			continue
+		}
+		sort.Strings(files)
+		users = append(users, User{ID: e.Name(), Files: files})
+	}
+	sort.Slice(users, func(i, j int) bool { return users[i].ID < users[j].ID })
+	return users, nil
+}
+
+// UserSource streams all trajectory files of a user in order as one
+// time-ordered stream. Files are opened lazily one at a time.
+type UserSource struct {
+	files []string
+	cur   *trace.SliceSource
+}
+
+// NewUserSource returns a Source over the user's trajectories.
+func NewUserSource(u User) *UserSource {
+	files := make([]string, len(u.Files))
+	copy(files, u.Files)
+	return &UserSource{files: files}
+}
+
+var _ trace.Source = (*UserSource)(nil)
+
+// Next implements trace.Source.
+func (s *UserSource) Next() (trace.Point, error) {
+	for {
+		if s.cur != nil {
+			p, err := s.cur.Next()
+			if err == nil {
+				return p, nil
+			}
+			if !errors.Is(err, io.EOF) {
+				return trace.Point{}, err
+			}
+			s.cur = nil
+		}
+		if len(s.files) == 0 {
+			return trace.Point{}, io.EOF
+		}
+		tr, err := ReadFile(s.files[0])
+		s.files = s.files[1:]
+		if err != nil {
+			return trace.Point{}, err
+		}
+		s.cur = trace.NewSliceSource(tr.Points)
+	}
+}

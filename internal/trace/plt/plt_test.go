@@ -1,0 +1,186 @@
+package plt
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"locwatch/internal/geo"
+	"locwatch/internal/trace"
+)
+
+const sampleFile = `Geolife trajectory
+WGS 84
+Altitude is in Feet
+Reserved 3
+0,2,255,My Track,0,0,2,8421376
+0
+39.906631,116.385564,0,492,40097.5864583333,2009-10-11,14:04:30
+39.906554,116.385625,0,492,40097.5864699074,2009-10-11,14:04:31
+39.906558,116.385483,0,492,40097.5864930556,2009-10-11,14:04:33
+`
+
+func TestReadSample(t *testing.T) {
+	tr, err := Read(strings.NewReader(sampleFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("parsed %d points", tr.Len())
+	}
+	p := tr.Points[0]
+	if p.Pos.Lat != 39.906631 || p.Pos.Lon != 116.385564 {
+		t.Fatalf("first point = %v", p.Pos)
+	}
+	want := time.Date(2009, 10, 11, 14, 4, 30, 0, time.UTC)
+	if !p.T.Equal(want) {
+		t.Fatalf("timestamp = %v, want %v", p.T, want)
+	}
+	if tr.Points[2].T.Sub(tr.Points[0].T) != 3*time.Second {
+		t.Fatal("timestamps not parsed correctly")
+	}
+}
+
+func TestReadSkipsBlankLines(t *testing.T) {
+	in := sampleFile + "\n\n"
+	tr, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("parsed %d points", tr.Len())
+	}
+}
+
+func TestReadMalformed(t *testing.T) {
+	tests := []struct {
+		name string
+		line string
+	}{
+		{"too few fields", "39.9,116.4,0,492"},
+		{"bad lat", "abc,116.4,0,492,40097.58,2009-10-11,14:04:30"},
+		{"bad lon", "39.9,xyz,0,492,40097.58,2009-10-11,14:04:30"},
+		{"bad date", "39.9,116.4,0,492,40097.58,2009-13-45,14:04:30"},
+		{"bad time", "39.9,116.4,0,492,40097.58,2009-10-11,25:99:99"},
+		{"out of range", "99.9,216.4,0,492,40097.58,2009-10-11,14:04:30"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			in := sampleFile + tt.line + "\n"
+			if _, err := Read(strings.NewReader(in)); !errors.Is(err, ErrBadRecord) {
+				t.Fatalf("want ErrBadRecord, got %v", err)
+			}
+		})
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	base := time.Date(2026, 7, 1, 9, 30, 0, 0, time.UTC)
+	pts := make([]trace.Point, 100)
+	for i := range pts {
+		pts[i] = trace.Point{
+			Pos: geo.Destination(geo.LatLon{Lat: 39.9, Lon: 116.4}, 45, float64(i)*3),
+			T:   base.Add(time.Duration(i) * time.Second),
+		}
+	}
+	var sb strings.Builder
+	if err := Write(&sb, pts); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != len(pts) {
+		t.Fatalf("round trip lost points: %d vs %d", tr.Len(), len(pts))
+	}
+	for i, p := range tr.Points {
+		if !p.T.Equal(pts[i].T) {
+			t.Fatalf("point %d time %v != %v", i, p.T, pts[i].T)
+		}
+		if geo.Distance(p.Pos, pts[i].Pos) > 0.2 { // 1e-6 deg quantization
+			t.Fatalf("point %d moved %v m", i, geo.Distance(p.Pos, pts[i].Pos))
+		}
+	}
+}
+
+func TestFileAndDatasetRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	base := time.Date(2026, 7, 1, 8, 0, 0, 0, time.UTC)
+	mkpts := func(offset time.Duration, n int) []trace.Point {
+		pts := make([]trace.Point, n)
+		for i := range pts {
+			pts[i] = trace.Point{
+				Pos: geo.LatLon{Lat: 39.9, Lon: 116.4},
+				T:   base.Add(offset + time.Duration(i)*time.Second),
+			}
+		}
+		return pts
+	}
+	// Two users, user 000 with two trajectories.
+	if err := WriteFile(filepath.Join(root, "000", "Trajectory", "a.plt"), mkpts(0, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(filepath.Join(root, "000", "Trajectory", "b.plt"), mkpts(time.Hour, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(filepath.Join(root, "001", "Trajectory", "a.plt"), mkpts(0, 7)); err != nil {
+		t.Fatal(err)
+	}
+	// A user directory without trajectories is skipped.
+	if err := os.MkdirAll(filepath.Join(root, "002"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	users, err := ScanDataset(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(users) != 2 {
+		t.Fatalf("found %d users, want 2", len(users))
+	}
+	if users[0].ID != "000" || len(users[0].Files) != 2 {
+		t.Fatalf("user[0] = %+v", users[0])
+	}
+
+	n, err := trace.Count(NewUserSource(users[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 15 {
+		t.Fatalf("user 000 streamed %d points, want 15", n)
+	}
+
+	// Streamed points are time ordered across file boundaries.
+	src := NewUserSource(users[0])
+	var prev time.Time
+	for {
+		p, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.T.Before(prev) {
+			t.Fatal("UserSource emitted out-of-order points")
+		}
+		prev = p.T
+	}
+}
+
+func TestScanDatasetMissingRoot(t *testing.T) {
+	if _, err := ScanDataset(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing root should error")
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "nope.plt")); err == nil {
+		t.Fatal("missing file should error")
+	}
+}

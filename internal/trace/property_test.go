@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"locwatch/internal/geo"
+)
+
+// randomTrace builds a random time-ordered trace from a quick seed.
+func randomTrace(seed int64, n int) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point, 0, n)
+	now := t0
+	pos := geo.LatLon{Lat: 39.9, Lon: 116.4}
+	for i := 0; i < n; i++ {
+		now = now.Add(time.Duration(1+rng.Intn(10)) * time.Second)
+		pos = geo.Destination(pos, rng.Float64()*360, rng.Float64()*30)
+		pts = append(pts, Point{Pos: pos, T: now})
+	}
+	return pts
+}
+
+func TestPropertySamplerSpacing(t *testing.T) {
+	// For any trace and interval, consecutive released points are at
+	// least the interval apart.
+	f := func(seed int64, nRaw uint8, ivRaw uint8) bool {
+		n := int(nRaw)%200 + 2
+		interval := time.Duration(int(ivRaw)%120+1) * time.Second
+		pts := randomTrace(seed, n)
+		s := NewSampler(NewSliceSource(pts), interval, 0)
+		var prev time.Time
+		first := true
+		for {
+			p, err := s.Next()
+			if err != nil {
+				return true
+			}
+			if !first && p.T.Sub(prev) < interval {
+				return false
+			}
+			prev = p.T
+			first = false
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySamplerSubset(t *testing.T) {
+	// Every released point is a point of the input, and the release
+	// count never exceeds the input size.
+	f := func(seed int64, nRaw uint8, ivRaw uint8) bool {
+		n := int(nRaw)%200 + 1
+		interval := time.Duration(int(ivRaw)%60) * time.Second
+		pts := randomTrace(seed, n)
+		index := map[Point]bool{}
+		for _, p := range pts {
+			index[p] = true
+		}
+		s := NewSampler(NewSliceSource(pts), interval, 0)
+		count := 0
+		for {
+			p, err := s.Next()
+			if err != nil {
+				break
+			}
+			if !index[p] {
+				return false
+			}
+			count++
+		}
+		return count <= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySamplerMonotoneInInterval(t *testing.T) {
+	// A larger interval never yields more points.
+	f := func(seed int64, nRaw uint8, aRaw, bRaw uint8) bool {
+		n := int(nRaw)%300 + 2
+		a := time.Duration(int(aRaw)%300+1) * time.Second
+		b := a + time.Duration(int(bRaw)%300)*time.Second
+		pts := randomTrace(seed, n)
+		na, err := Count(NewSampler(NewSliceSource(pts), a, 0))
+		if err != nil {
+			return false
+		}
+		nb, err := Count(NewSampler(NewSliceSource(pts), b, 0))
+		if err != nil {
+			return false
+		}
+		return nb <= na
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySplitPreservesPoints(t *testing.T) {
+	// Splitting into trajectories neither loses nor duplicates points.
+	f := func(seed int64, nRaw uint8, gapRaw uint8) bool {
+		n := int(nRaw)%300 + 1
+		gap := time.Duration(int(gapRaw)%20+1) * time.Second
+		pts := randomTrace(seed, n)
+		total := 0
+		err := Split(NewSliceSource(pts), gap, func(tr *Trace) error {
+			total += tr.Len()
+			return nil
+		})
+		return err == nil && total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyHeadNeverExceeds(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := int(nRaw) % 100
+		k := int(kRaw) % 150
+		pts := randomTrace(seed, n)
+		got, err := Count(NewHead(NewSliceSource(pts), k))
+		if err != nil {
+			return false
+		}
+		want := k
+		if n < k {
+			want = n
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,219 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+)
+
+// Sampler transforms a full-rate Source into the subsequence an app
+// observing the trace at a given background-access interval would
+// collect: the first point at or after each access instant is released.
+// This models Android's minTime listener contract — the app receives at
+// most one update per interval, and receives it as soon as a fix is
+// available after the interval elapses.
+type Sampler struct {
+	src      Source
+	interval time.Duration
+	phase    time.Duration
+	next     time.Time // zero until the first point is seen
+	started  bool
+}
+
+// NewSampler returns a Sampler releasing at most one point per
+// interval. A non-positive interval passes every point through
+// (continuous access). phase delays the first access after the start of
+// the stream, modeling an app that begins observing mid-trace (used by
+// the Figure 4(b) random-start experiment).
+func NewSampler(src Source, interval, phase time.Duration) *Sampler {
+	if phase < 0 {
+		phase = 0
+	}
+	return &Sampler{src: src, interval: interval, phase: phase}
+}
+
+var _ Source = (*Sampler)(nil)
+
+// Next implements Source.
+func (s *Sampler) Next() (Point, error) {
+	for {
+		p, err := s.src.Next()
+		if err != nil {
+			return Point{}, err
+		}
+		if s.interval <= 0 && s.phase == 0 {
+			return p, nil
+		}
+		if !s.started {
+			s.next = p.T.Add(s.phase)
+			s.started = true
+		}
+		if p.T.Before(s.next) {
+			continue
+		}
+		if s.interval <= 0 {
+			return p, nil
+		}
+		// Release this point and schedule the next access. Scheduling
+		// from the released fix (not from the nominal instant) matches
+		// a periodic listener re-armed on each callback.
+		s.next = p.T.Add(s.interval)
+		return p, nil
+	}
+}
+
+// Dropout models lossy collection (e.g. GPS outages or the app being
+// killed): each point is independently dropped with probability p.
+type Dropout struct {
+	src Source
+	p   float64
+	rng *rand.Rand
+}
+
+// NewDropout returns a Source dropping each point with probability p
+// (clamped to [0, 1)) using the given deterministic RNG.
+func NewDropout(src Source, p float64, rng *rand.Rand) *Dropout {
+	if p < 0 {
+		p = 0
+	}
+	if p >= 1 {
+		p = 0.999999
+	}
+	return &Dropout{src: src, p: p, rng: rng}
+}
+
+var _ Source = (*Dropout)(nil)
+
+// Next implements Source.
+func (d *Dropout) Next() (Point, error) {
+	for {
+		p, err := d.src.Next()
+		if err != nil {
+			return Point{}, err
+		}
+		if d.rng.Float64() >= d.p {
+			return p, nil
+		}
+	}
+}
+
+// Head limits a source to its first n points.
+type Head struct {
+	src  Source
+	left int
+}
+
+// NewHead returns a Source yielding at most n points of src.
+func NewHead(src Source, n int) *Head {
+	return &Head{src: src, left: n}
+}
+
+var _ Source = (*Head)(nil)
+
+// Next implements Source.
+func (h *Head) Next() (Point, error) {
+	if h.left <= 0 {
+		return Point{}, io.EOF
+	}
+	p, err := h.src.Next()
+	if err != nil {
+		return Point{}, err
+	}
+	h.left--
+	return p, nil
+}
+
+// TimeWindow restricts a source to points with T in [from, to). A zero
+// from or to leaves that side unbounded.
+type TimeWindow struct {
+	src      Source
+	from, to time.Time
+}
+
+// NewTimeWindow returns a Source yielding only points within the window.
+func NewTimeWindow(src Source, from, to time.Time) *TimeWindow {
+	return &TimeWindow{src: src, from: from, to: to}
+}
+
+var _ Source = (*TimeWindow)(nil)
+
+// Next implements Source.
+func (w *TimeWindow) Next() (Point, error) {
+	for {
+		p, err := w.src.Next()
+		if err != nil {
+			return Point{}, err
+		}
+		if !w.from.IsZero() && p.T.Before(w.from) {
+			continue
+		}
+		if !w.to.IsZero() && !p.T.Before(w.to) {
+			// Points are time-ordered, so nothing further can qualify.
+			return Point{}, io.EOF
+		}
+		return p, nil
+	}
+}
+
+// Concat chains sources one after another. It does not verify time
+// ordering across the boundary; callers compose ordered segments.
+type Concat struct {
+	srcs []Source
+}
+
+// NewConcat returns a Source streaming each src in turn.
+func NewConcat(srcs ...Source) *Concat {
+	return &Concat{srcs: srcs}
+}
+
+var _ Source = (*Concat)(nil)
+
+// Next implements Source.
+func (c *Concat) Next() (Point, error) {
+	for len(c.srcs) > 0 {
+		p, err := c.srcs[0].Next()
+		if errors.Is(err, io.EOF) {
+			c.srcs = c.srcs[1:]
+			continue
+		}
+		return p, err
+	}
+	return Point{}, io.EOF
+}
+
+// Split partitions a source into trajectories: maximal runs of points
+// whose inter-point gap stays below maxGap. This mirrors how the
+// GeoLife dataset is organized into 17,621 trajectory files. The
+// callback receives each completed trajectory; the Trace passed in is
+// reused only after the callback returns, so callbacks that retain it
+// must copy.
+func Split(src Source, maxGap time.Duration, fn func(*Trace) error) error {
+	if maxGap <= 0 {
+		return fmt.Errorf("trace: Split needs a positive maxGap, got %v", maxGap)
+	}
+	cur := &Trace{}
+	flush := func() error {
+		if cur.Len() == 0 {
+			return nil
+		}
+		if err := fn(cur); err != nil {
+			return err
+		}
+		cur.Points = cur.Points[:0]
+		return nil
+	}
+	err := ForEach(src, func(p Point) error {
+		if n := cur.Len(); n > 0 && p.T.Sub(cur.Points[n-1].T) > maxGap {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		return cur.Append(p)
+	})
+	if err != nil {
+		return err
+	}
+	return flush()
+}

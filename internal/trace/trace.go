@@ -1,0 +1,174 @@
+// Package trace defines the location-trace model shared by the whole
+// library: timestamped GPS points, in-memory traces, streaming sources,
+// and the sampling transforms that model an app observing a trace at a
+// given background-access frequency.
+//
+// Experiments in this repository run over weeks of 1 Hz data for up to
+// 182 simulated users, so the package is built around the streaming
+// Source interface rather than materialized slices: a full-rate trace
+// never needs to exist in memory at once.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"locwatch/internal/geo"
+)
+
+// Point is a single GPS fix.
+type Point struct {
+	Pos geo.LatLon
+	T   time.Time
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("%s@%s", p.Pos, p.T.Format(time.RFC3339))
+}
+
+// Trace is an in-memory sequence of points ordered by time.
+type Trace struct {
+	Points []Point
+}
+
+// Len returns the number of points.
+func (tr *Trace) Len() int { return len(tr.Points) }
+
+// Append adds a point to the end of the trace. It returns an error if
+// the point is older than the current tail, keeping the ordering
+// invariant intact.
+func (tr *Trace) Append(p Point) error {
+	if n := len(tr.Points); n > 0 && p.T.Before(tr.Points[n-1].T) {
+		return fmt.Errorf("trace: out-of-order point %v before tail %v", p.T, tr.Points[n-1].T)
+	}
+	tr.Points = append(tr.Points, p)
+	return nil
+}
+
+// Sort orders the points by timestamp (stable), for traces assembled
+// from unordered input such as files.
+func (tr *Trace) Sort() {
+	sort.SliceStable(tr.Points, func(i, j int) bool {
+		return tr.Points[i].T.Before(tr.Points[j].T)
+	})
+}
+
+// Duration returns the time span covered by the trace.
+func (tr *Trace) Duration() time.Duration {
+	if len(tr.Points) < 2 {
+		return 0
+	}
+	return tr.Points[len(tr.Points)-1].T.Sub(tr.Points[0].T)
+}
+
+// PathLength returns the summed great-circle length of the trace in
+// meters.
+func (tr *Trace) PathLength() float64 {
+	var total float64
+	for i := 1; i < len(tr.Points); i++ {
+		total += geo.Distance(tr.Points[i-1].Pos, tr.Points[i].Pos)
+	}
+	return total
+}
+
+// BoundingBox returns the tight bounding box of the trace.
+func (tr *Trace) BoundingBox() geo.BoundingBox {
+	pts := make([]geo.LatLon, len(tr.Points))
+	for i, p := range tr.Points {
+		pts[i] = p.Pos
+	}
+	return geo.NewBoundingBox(pts)
+}
+
+// Source is a pull-based stream of points in non-decreasing time order.
+// Next returns io.EOF after the last point. Implementations need not be
+// safe for concurrent use; each consumer owns its Source.
+type Source interface {
+	Next() (Point, error)
+}
+
+// SourceFunc adapts a function to the Source interface.
+type SourceFunc func() (Point, error)
+
+// Next implements Source.
+func (f SourceFunc) Next() (Point, error) { return f() }
+
+var _ Source = SourceFunc(nil)
+
+// SliceSource streams an in-memory point slice.
+type SliceSource struct {
+	pts []Point
+	i   int
+}
+
+// NewSliceSource returns a Source over pts. The slice is not copied;
+// the caller must not mutate it while streaming.
+func NewSliceSource(pts []Point) *SliceSource {
+	return &SliceSource{pts: pts}
+}
+
+var _ Source = (*SliceSource)(nil)
+
+// Next implements Source.
+func (s *SliceSource) Next() (Point, error) {
+	if s.i >= len(s.pts) {
+		return Point{}, io.EOF
+	}
+	p := s.pts[s.i]
+	s.i++
+	return p, nil
+}
+
+// Reset rewinds the source to the beginning.
+func (s *SliceSource) Reset() { s.i = 0 }
+
+// Collect drains a source into a Trace. Use only for small streams
+// (tests, examples); experiments consume sources directly. The limit
+// guards against accidentally materializing an unbounded stream; pass
+// limit <= 0 for no bound.
+func Collect(src Source, limit int) (*Trace, error) {
+	tr := &Trace{}
+	for {
+		p, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			return tr, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: collect: %w", err)
+		}
+		if err := tr.Append(p); err != nil {
+			return nil, err
+		}
+		if limit > 0 && tr.Len() > limit {
+			return nil, fmt.Errorf("trace: collect exceeded limit of %d points", limit)
+		}
+	}
+}
+
+// ForEach applies fn to every point of src, stopping at io.EOF or the
+// first error from src or fn.
+func ForEach(src Source, fn func(Point) error) error {
+	for {
+		p, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(p); err != nil {
+			return err
+		}
+	}
+}
+
+// Count drains src and returns the number of points.
+func Count(src Source) (int, error) {
+	n := 0
+	err := ForEach(src, func(Point) error { n++; return nil })
+	return n, err
+}

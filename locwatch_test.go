@@ -1,0 +1,193 @@
+package locwatch_test
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"locwatch"
+)
+
+// TestPublicAPIEndToEnd drives the whole pipeline through the facade:
+// world → trace → profile → detector → adversary → defenses → PLT.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	cfg := locwatch.DefaultMobilityConfig()
+	cfg.Users = 4
+	cfg.Days = 5
+	cfg.FracTripsOnly = 0
+	cfg.FracSparse = 0
+	world, err := locwatch.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Profile of user 0 from the native stream.
+	src, err := world.Trace(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile, err := locwatch.BuildProfile(src, cfg.CityCenter, locwatch.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if profile.NumPlaces() == 0 || profile.NumVisits() == 0 {
+		t.Fatalf("degenerate profile: %d places, %d visits", profile.NumPlaces(), profile.NumVisits())
+	}
+
+	// PoI extraction via the standalone API agrees with the profile.
+	src2, err := world.Trace(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stays, err := locwatch.ExtractPoIs(src2, locwatch.DefaultPoIParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stays) != profile.NumVisits() {
+		t.Fatalf("ExtractPoIs found %d stays, profile has %d visits", len(stays), profile.NumVisits())
+	}
+
+	// Streaming detection breaches on the user's own data.
+	det, err := locwatch.NewDetector(profile, locwatch.PatternMovement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src3, err := world.Trace(0, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcome, err := det.FirstBreach(src3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outcome.Breached {
+		t.Fatal("no breach on the user's own data")
+	}
+
+	// Adversary identification across the small population.
+	profiles := make([]*locwatch.Profile, world.NumUsers())
+	for id := range profiles {
+		s, err := world.Trace(id, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		profiles[id], err = locwatch.BuildProfile(s, cfg.CityCenter, locwatch.DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	adv, err := locwatch.NewAdversary(profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ident, err := adv.Identify(profiles[0], locwatch.PatternMovement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ident.Candidates[0].Matched {
+		t.Fatal("adversary missed the owner")
+	}
+
+	// Defenses compose on the stream and actually protect.
+	src4, err := world.Trace(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defended := locwatch.TruncateStream(src4, 2)
+	obs, err := locwatch.BuildProfile(defended, cfg.CityCenter, locwatch.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, discovered := profile.Coverage(obs); discovered != 0 {
+		t.Fatalf("truncated stream still discovered %d places", discovered)
+	}
+
+	// PLT round trip through the facade.
+	src5, err := world.Trace(0, 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := locwatch.Collect(src5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "u0.plt")
+	if err := locwatch.WritePLT(path, tr.Points); err != nil {
+		t.Fatal(err)
+	}
+	back, err := locwatch.ReadPLT(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tr.Len() {
+		t.Fatalf("PLT round trip lost points: %d vs %d", back.Len(), tr.Len())
+	}
+}
+
+// TestPublicAPIMarket drives the market substrate through the facade.
+func TestPublicAPIMarket(t *testing.T) {
+	if testing.Short() {
+		t.Skip("market campaign in -short mode")
+	}
+	m, err := locwatch.GenerateMarket(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := locwatch.MarketCampaign{}.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	background := 0
+	for _, o := range obs {
+		if o.Background {
+			background++
+		}
+	}
+	if background != 102 {
+		t.Fatalf("background apps = %d, want 102", background)
+	}
+}
+
+// TestPublicAPIDevice exercises the Android substrate via the facade.
+func TestPublicAPIDevice(t *testing.T) {
+	start := time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+	dev := locwatch.NewDevice(start, locwatch.LatLon{Lat: 39.9, Lon: 116.4})
+	spec := locwatch.AppSpec{
+		Package:     "com.api.demo",
+		Permissions: nil, // no permissions: install fine, no location
+		Behavior:    locwatch.AppBehavior{},
+	}
+	if _, err := dev.Install(spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Launch("com.api.demo"); err != nil {
+		t.Fatal(err)
+	}
+	dev.Advance(time.Minute)
+	if dev.NotificationVisible() {
+		t.Fatal("permissionless app lit the location indicator")
+	}
+}
+
+// TestEntropyHelpers checks the re-exported formulas.
+func TestEntropyHelpers(t *testing.T) {
+	if got := locwatch.Entropy([]float64{0.5, 0.5}); got < 0.999 || got > 1.001 {
+		t.Fatalf("Entropy = %v", got)
+	}
+	if got := locwatch.DegreeOfAnonymity([]float64{1, 0}, 2); got != 0 {
+		t.Fatalf("DegreeOfAnonymity = %v", got)
+	}
+}
+
+// TestGeodesyHelpers checks the re-exported geo primitives.
+func TestGeodesyHelpers(t *testing.T) {
+	p := locwatch.LatLon{Lat: 39.9, Lon: 116.4}
+	q := locwatch.Destination(p, 90, 1000)
+	if d := locwatch.Distance(p, q); d < 999 || d > 1001 {
+		t.Fatalf("Distance = %v", d)
+	}
+	proj := locwatch.NewProjection(p)
+	if d := proj.PlanarDistance(p, q); d < 999 || d > 1001 {
+		t.Fatalf("PlanarDistance = %v", d)
+	}
+}
