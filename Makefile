@@ -1,0 +1,41 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build test check fmt vet lint race fuzz
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## check is the CI gate: formatting, go vet, the domain lint suite,
+## the full test suite under the race detector, and short fuzz runs
+## over every parser that consumes untrusted input.
+check: fmt vet lint race fuzz
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# The domain analyzers (latlonbounds, angleunits, lockedmap,
+# durationseconds, detclock). Exit status 1 means findings.
+lint:
+	$(GO) run ./cmd/locwatchlint ./...
+
+race:
+	$(GO) test -race ./...
+
+# Ten-second fuzz passes over the three untrusted-input parsers:
+# market page scraping, dumpsys battery output, and PLT trace files.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzExtractManifest -fuzztime $(FUZZTIME) ./internal/market
+	$(GO) test -run '^$$' -fuzz FuzzParseDumpsys -fuzztime $(FUZZTIME) ./internal/android
+	$(GO) test -run '^$$' -fuzz FuzzRead -fuzztime $(FUZZTIME) ./internal/trace/plt

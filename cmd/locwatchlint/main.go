@@ -1,0 +1,126 @@
+// Command locwatchlint runs locwatch's domain lint suite (see
+// internal/lint) over the packages matching the given patterns:
+//
+//	locwatchlint [flags] [packages]
+//
+// With no patterns it checks ./... relative to the enclosing module.
+// The exit status is 0 when the suite is clean, 1 when any finding is
+// reported, and 2 on usage or load errors.
+//
+// Flags:
+//
+//	-json         emit findings as a JSON array instead of text
+//	-disable a,b  skip the named analyzers
+//	-list         print the analyzer suite and exit
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"locwatch/internal/lint"
+	"locwatch/internal/lint/analysis"
+	"locwatch/internal/lint/loader"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("locwatchlint: ")
+
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	disable := flag.String("disable", "", "comma-separated analyzer names to skip")
+	list := flag.Bool("list", false, "print the analyzer suite and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*disable)
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+
+	root, err := loader.ModuleRoot(".")
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+	resolve, roots, err := loader.GoList(root, flag.Args()...)
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+	ld := loader.New(resolve)
+	var pkgs []*loader.Package
+	for _, path := range roots {
+		pkg, err := ld.Load(path)
+		if err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+
+	findings, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers returns the suite minus the disabled names.
+func selectAnalyzers(disable string) ([]*analysis.Analyzer, error) {
+	disabled := make(map[string]bool)
+	for _, name := range strings.Split(disable, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			disabled[name] = true
+		}
+	}
+	var out []*analysis.Analyzer
+	for _, a := range lint.All() {
+		if disabled[a.Name] {
+			delete(disabled, a.Name)
+			continue
+		}
+		out = append(out, a)
+	}
+	if len(disabled) > 0 {
+		var unknown []string
+		for name := range disabled {
+			unknown = append(unknown, name)
+		}
+		return nil, fmt.Errorf("unknown analyzer(s) in -disable: %s", strings.Join(unknown, ", "))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("all analyzers disabled")
+	}
+	return out, nil
+}

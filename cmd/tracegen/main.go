@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"path/filepath"
+	"time"
 
 	"locwatch/internal/mobility"
 	"locwatch/internal/trace"
@@ -28,7 +29,7 @@ func main() {
 	users := flag.Int("users", 10, "number of users to generate")
 	days := flag.Int("days", 14, "simulated days")
 	seed := flag.Int64("seed", 1, "world seed")
-	gap := flag.Duration("gap", 30*60e9, "gap that splits trajectories")
+	gap := flag.Duration("gap", 30*time.Minute, "gap that splits trajectories")
 	flag.Parse()
 
 	if *out == "" {

@@ -317,7 +317,7 @@ func (s *CloakedSource) Next() (trace.Point, error) {
 		t := s.aligned.Start.Add(time.Duration(s.tick) * s.aligned.Interval)
 		s.tick++
 		s.Released++
-		s.AreaSum += boxArea(box)
+		s.AreaSum += box.Area()
 		return trace.Point{Pos: box.Center(), T: t}, nil
 	}
 	return trace.Point{}, io.EOF
@@ -329,14 +329,6 @@ func (s *CloakedSource) MeanAreaKm2() float64 {
 		return 0
 	}
 	return s.AreaSum / float64(s.Released) / 1e6
-}
-
-// boxArea approximates the box area in m².
-func boxArea(b geo.BoundingBox) float64 {
-	h := geo.Distance(geo.LatLon{Lat: b.MinLat, Lon: b.MinLon}, geo.LatLon{Lat: b.MaxLat, Lon: b.MinLon})
-	midLat := (b.MinLat + b.MaxLat) / 2
-	w := geo.Distance(geo.LatLon{Lat: midLat, Lon: b.MinLon}, geo.LatLon{Lat: midLat, Lon: b.MaxLon})
-	return h * w
 }
 
 // AnonymitySetSize returns how many users share the released cell —

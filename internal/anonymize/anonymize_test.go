@@ -87,8 +87,8 @@ func TestCloakAdaptsToDensity(t *testing.T) {
 	if !ok {
 		t.Fatal("lone cloak failed")
 	}
-	if boxArea(dense) >= boxArea(lone) {
-		t.Fatalf("dense cloak (%v m²) not smaller than lone cloak (%v m²)", boxArea(dense), boxArea(lone))
+	if dense.Area() >= lone.Area() {
+		t.Fatalf("dense cloak (%v m²) not smaller than lone cloak (%v m²)", dense.Area(), lone.Area())
 	}
 }
 
@@ -124,7 +124,7 @@ func TestCloakMinCellFloor(t *testing.T) {
 	if !ok {
 		t.Fatal("cloak failed")
 	}
-	if a := boxArea(box); a < 500*500*4*0.9 {
+	if a := box.Area(); a < 500*500*4*0.9 {
 		t.Fatalf("cell area %v below the floor", a)
 	}
 }

@@ -8,7 +8,6 @@ import (
 
 	"locwatch/internal/anonymize"
 	"locwatch/internal/core"
-	"locwatch/internal/geo"
 	"locwatch/internal/trace"
 )
 
@@ -89,7 +88,7 @@ func AblationCloaking(l *Lab) (*CloakingResult, error) {
 					continue
 				}
 				released[u] = append(released[u], trace.Point{Pos: boxes[i].Center(), T: t})
-				areaSum += boxAreaKm2(boxes[i])
+				areaSum += boxes[i].Area() / 1e6
 				releases++
 			}
 		}
@@ -135,14 +134,6 @@ func AblationCloaking(l *Lab) (*CloakingResult, error) {
 		res.Rows = append(res.Rows, row)
 	}
 	return res, nil
-}
-
-// boxAreaKm2 approximates a bounding box area in km².
-func boxAreaKm2(b geo.BoundingBox) float64 {
-	h := geo.Distance(geo.LatLon{Lat: b.MinLat, Lon: b.MinLon}, geo.LatLon{Lat: b.MaxLat, Lon: b.MinLon})
-	mid := (b.MinLat + b.MaxLat) / 2
-	w := geo.Distance(geo.LatLon{Lat: mid, Lon: b.MinLon}, geo.LatLon{Lat: mid, Lon: b.MaxLon})
-	return h * w / 1e6
 }
 
 // Render prints the cloaking ablation.

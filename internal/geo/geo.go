@@ -240,6 +240,23 @@ func (b BoundingBox) Center() LatLon {
 	return LatLon{Lat: (b.MinLat + b.MaxLat) / 2, Lon: (b.MinLon + b.MaxLon) / 2}
 }
 
+// Dimensions returns the box's north-south height and east-west width
+// in meters. Height is measured along a meridian edge; width along the
+// parallel at the box's middle latitude, which is where the cloaking
+// experiments quote cell sizes.
+func (b BoundingBox) Dimensions() (height, width float64) {
+	height = Distance(LatLon{Lat: b.MinLat, Lon: b.MinLon}, LatLon{Lat: b.MaxLat, Lon: b.MinLon})
+	midLat := (b.MinLat + b.MaxLat) / 2
+	width = Distance(LatLon{Lat: midLat, Lon: b.MinLon}, LatLon{Lat: midLat, Lon: b.MaxLon})
+	return height, width
+}
+
+// Area approximates the box area in m² as height × width.
+func (b BoundingBox) Area() float64 {
+	h, w := b.Dimensions()
+	return h * w
+}
+
 // Expand grows the box by approximately margin meters on each side.
 func (b BoundingBox) Expand(margin float64) BoundingBox {
 	dLat := margin / EarthRadius * radToDeg

@@ -212,6 +212,29 @@ func TestBoundingBox(t *testing.T) {
 	}
 }
 
+func TestBoundingBoxDimensions(t *testing.T) {
+	// A box built by walking 3 km north and 4 km east from an anchor
+	// should measure very close to 3000 × 4000 m.
+	a := beijing
+	north := Destination(a, 0, 3000)
+	east := Destination(a, 90, 4000)
+	b := NewBoundingBox([]LatLon{a, north, east})
+	h, w := b.Dimensions()
+	if math.Abs(h-3000) > 10 {
+		t.Fatalf("height = %v m, want ~3000", h)
+	}
+	if math.Abs(w-4000) > 10 {
+		t.Fatalf("width = %v m, want ~4000", w)
+	}
+	if area := b.Area(); math.Abs(area-h*w) > 1e-6 {
+		t.Fatalf("Area() = %v, want height*width = %v", area, h*w)
+	}
+	var zero BoundingBox
+	if h, w := zero.Dimensions(); h != 0 || w != 0 {
+		t.Fatalf("zero box dimensions = %v × %v, want 0 × 0", h, w)
+	}
+}
+
 func TestBoundingBoxEmpty(t *testing.T) {
 	b := NewBoundingBox(nil)
 	if b != (BoundingBox{}) {

@@ -1,0 +1,36 @@
+package lint_test
+
+import (
+	"testing"
+
+	"locwatch/internal/lint"
+	"locwatch/internal/lint/analysistest"
+)
+
+const fixtures = "testdata/src"
+
+func TestLatLonBounds(t *testing.T) {
+	analysistest.Run(t, fixtures, lint.LatLonBounds, "latlonbounds")
+}
+
+func TestAngleUnits(t *testing.T) {
+	analysistest.Run(t, fixtures, lint.AngleUnits, "angleunits")
+}
+
+func TestLockedMap(t *testing.T) {
+	analysistest.Run(t, fixtures, lint.LockedMap, "lockedmap")
+}
+
+func TestDurationSeconds(t *testing.T) {
+	analysistest.Run(t, fixtures, lint.DurationSeconds, "durationseconds")
+}
+
+func TestDetClock(t *testing.T) {
+	analysistest.Run(t, fixtures, lint.DetClock, "detclock/mobility", "detclock/app")
+}
+
+// TestLatLonBoundsSkipsGeo pins the defining-package exemption: the
+// fixture geo stub builds LatLon values freely and must stay silent.
+func TestLatLonBoundsSkipsGeo(t *testing.T) {
+	analysistest.Run(t, fixtures, lint.LatLonBounds, "geo")
+}

@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+
+	"locwatch/internal/lint/analysis"
+)
+
+// DetClock forbids wall-clock reads in the deterministic simulation
+// packages. Every Table III / Figure 2–5 number depends on traces being
+// reproducible from a seed; a single time.Now() in the mobility
+// simulator, the trace pipeline or an experiment driver silently breaks
+// run-to-run comparability. Simulated time must come from injected
+// anchors (mobility.Config.Start, android.NewDevice's start argument).
+//
+// The deterministic set is matched by import-path segment so it covers
+// subpackages (internal/trace/plt) and analysistest fixtures alike.
+var DetClock = &analysis.Analyzer{
+	Name: "detclock",
+	Doc: "flags time.Now() in deterministic simulation packages " +
+		"(mobility, trace, experiments), which must use an injected clock",
+	Run: runDetClock,
+}
+
+// deterministicSegments marks package-path elements whose packages must
+// stay wall-clock free.
+var deterministicSegments = map[string]bool{
+	"mobility":    true,
+	"trace":       true,
+	"plt":         true,
+	"experiments": true,
+}
+
+func runDetClock(pass *analysis.Pass) error {
+	deterministic := false
+	for _, seg := range strings.Split(pass.Pkg.Path(), "/") {
+		if deterministicSegments[seg] {
+			deterministic = true
+			break
+		}
+	}
+	if !deterministic {
+		return nil
+	}
+	analysis.Preorder(pass.Files, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := analysis.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return
+		}
+		if fn.Pkg().Path() == "time" && fn.Name() == "Now" {
+			pass.Reportf(call.Pos(),
+				"time.Now() in deterministic simulation package %s; take an injected clock "+
+					"(e.g. mobility.Config.Start) so seeded runs stay reproducible", pass.Pkg.Path())
+		}
+	})
+	return nil
+}

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"locwatch/internal/lint/analysis"
+)
+
+// DurationSeconds enforces typed durations on the access-interval
+// surface the paper's sweeps revolve around:
+//
+//   - function parameters and struct fields with a bare numeric type
+//     but a duration-suggesting name (interval, seconds, timeout, …)
+//     must be time.Duration, so call sites cannot confuse seconds with
+//     milliseconds or nanoseconds;
+//   - constant time.Duration expressions written as raw numerics
+//     (30*60e9 instead of 30*time.Minute) are flagged: they type-check
+//     but hide the unit from the reader.
+var DurationSeconds = &analysis.Analyzer{
+	Name: "durationseconds",
+	Doc: "flags numeric interval/seconds parameters and raw numeric duration " +
+		"constants that should be written with time.Duration units",
+	Run: runDurationSeconds,
+}
+
+// durNameRe matches names that denote a span of time. The lower-case
+// alternatives catch whole words; the capitalized ones catch suffixes
+// of mixedCaps names (intervalSeconds, PollTimeout, …).
+var durNameRe = regexp.MustCompile(
+	`^(interval|seconds|secs|millis|timeout|delay)$|(Interval|Seconds|Secs|Millis|Timeout|Delay)$`)
+
+func runDurationSeconds(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		analysis.WithStack(file, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Type.Params != nil {
+					checkDurNames(pass, n.Type.Params.List, "parameter")
+				}
+			case *ast.FuncLit:
+				if n.Type.Params != nil {
+					checkDurNames(pass, n.Type.Params.List, "parameter")
+				}
+			case *ast.StructType:
+				if n.Fields != nil {
+					checkDurNames(pass, n.Fields.List, "field")
+				}
+			case ast.Expr:
+				checkBareDurationConst(pass, n, stack)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDurNames flags duration-named entries whose type is a bare
+// numeric basic type.
+func checkDurNames(pass *analysis.Pass, fields []*ast.Field, kind string) {
+	for _, f := range fields {
+		for _, name := range f.Names {
+			if !durNameRe.MatchString(name.Name) {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			basic, ok := obj.Type().(*types.Basic)
+			if !ok || basic.Info()&types.IsNumeric == 0 {
+				continue
+			}
+			pass.Reportf(name.Pos(),
+				"%s %q has bare numeric type %s; use time.Duration so the unit is explicit",
+				kind, name.Name, basic.Name())
+		}
+	}
+}
+
+// checkBareDurationConst flags maximal constant expressions of type
+// time.Duration whose source text never mentions the time package (or
+// any Duration-typed named constant) — raw nanosecond arithmetic like
+// 30*60e9.
+func checkBareDurationConst(pass *analysis.Pass, e ast.Expr, stack []ast.Node) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || !isDuration(tv.Type) {
+		return
+	}
+	// Only the outermost constant-duration expression is diagnosed, and
+	// only in a value position: a constant operand of a larger
+	// non-constant duration expression (interval * 24, d / 2) is a
+	// scalar factor, not a hidden time span.
+	if len(stack) > 0 {
+		switch parent := stack[len(stack)-1].(type) {
+		case *ast.BinaryExpr:
+			return
+		case ast.Expr:
+			ptv, ok := pass.TypesInfo.Types[parent]
+			if ok && ptv.Value != nil && isDuration(ptv.Type) {
+				return
+			}
+		}
+	}
+	if trivialDuration(tv) || mentionsDurationUnit(pass.TypesInfo, e) {
+		return
+	}
+	pass.Reportf(e.Pos(),
+		"raw numeric time.Duration constant %s; write it in units (e.g. 30*time.Minute)",
+		tv.Value.ExactString())
+}
+
+func isDuration(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Duration" && obj.Pkg() != nil && obj.Pkg().Path() == "time"
+}
+
+// trivialDuration accepts 0 and ±1: zero values and the conventional
+// -1 "unset" sentinel carry no unit information to obscure.
+func trivialDuration(tv types.TypeAndValue) bool {
+	s := tv.Value.ExactString()
+	return s == "0" || s == "1" || s == "-1"
+}
+
+// mentionsDurationUnit reports whether the expression tree references
+// the time package or any named constant of type time.Duration, i.e.
+// the author spelled out a unit somewhere.
+func mentionsDurationUnit(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if obj.Pkg() != nil && obj.Pkg().Path() == "time" {
+			found = true
+			return false
+		}
+		if c, ok := obj.(*types.Const); ok && isDuration(c.Type()) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

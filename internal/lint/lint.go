@@ -1,0 +1,176 @@
+// Package lint is locwatch's domain lint suite: custom analyzers that
+// machine-check the geometric and concurrency invariants the paper's
+// risk numbers depend on (coordinate ranges, angle units, guarded
+// fan-out writes, typed durations, injected clocks). The analyzers are
+// built on the x/tools-shaped mini framework in internal/lint/analysis
+// and driven by cmd/locwatchlint and the `make check` gate.
+//
+// A finding can be suppressed at a call site that is known-good with a
+// directive comment on (or immediately above) the offending line:
+//
+//	//lint:ignore latlonbounds corners derive from validated fixes
+//
+// The directive names one analyzer, a comma-separated list, or "all".
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+	"strings"
+
+	"locwatch/internal/lint/analysis"
+	"locwatch/internal/lint/loader"
+)
+
+// All returns the full analyzer suite in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		AngleUnits,
+		DetClock,
+		DurationSeconds,
+		LatLonBounds,
+		LockedMap,
+	}
+}
+
+// Finding is one diagnostic, positioned and attributed.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", f.File, f.Line, f.Column, f.Message, f.Analyzer)
+}
+
+// RunPackage applies one analyzer to one package and returns its
+// findings with //lint:ignore directives already applied.
+func RunPackage(pkg *loader.Package, a *analysis.Analyzer) ([]Finding, error) {
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+	}
+	ignored := ignoreDirectives(pkg)
+	var out []Finding
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if ignored.matches(pos.Filename, pos.Line, a.Name) {
+			continue
+		}
+		out = append(out, Finding{
+			Analyzer: a.Name,
+			File:     pos.Filename,
+			Line:     pos.Line,
+			Column:   pos.Column,
+			Message:  d.Message,
+		})
+	}
+	return out, nil
+}
+
+// Run applies every analyzer to every package and returns the combined
+// findings sorted by position.
+func Run(pkgs []*loader.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var all []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			fs, err := RunPackage(pkg, a)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, fs...)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all, nil
+}
+
+// ignoreSet records, per file and line, the analyzer names suppressed
+// by //lint:ignore directives. A directive covers its own line and the
+// line below it, so it works both as a trailing and a standalone
+// comment.
+type ignoreSet map[string]map[int][]string
+
+func (s ignoreSet) matches(file string, line int, analyzer string) bool {
+	for _, name := range s[file][line] {
+		if name == "all" || name == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+func ignoreDirectives(pkg *loader.Package) ignoreSet {
+	set := make(ignoreSet)
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "lint:ignore") {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if set[pos.Filename] == nil {
+					set[pos.Filename] = make(map[int][]string)
+				}
+				names := strings.Split(fields[1], ",")
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					set[pos.Filename][line] = append(set[pos.Filename][line], names...)
+				}
+			}
+		}
+	}
+	return set
+}
+
+// enclosingFunc returns the innermost function declaration or literal
+// on the stack, or nil.
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+func funcBody(fn ast.Node) *ast.BlockStmt {
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		return fn.Body
+	case *ast.FuncLit:
+		return fn.Body
+	}
+	return nil
+}

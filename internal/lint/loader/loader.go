@@ -1,0 +1,269 @@
+// Package loader parses and type-checks Go packages for the lint
+// framework using only the standard library. Module-local packages are
+// resolved either through `go list` (the real repository) or through a
+// GOPATH-style source root (analysistest fixtures); standard-library
+// imports are type-checked from source via go/importer, which needs no
+// pre-built export data and no network.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked package.
+type Package struct {
+	Path string // import path
+	Name string // package name
+	Dir  string // directory holding the sources
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Resolver maps an import path to the directory and file list of a
+// module-local package. ok=false defers the path to the standard
+// library importer.
+type Resolver func(importPath string) (dir string, goFiles []string, ok bool, err error)
+
+// Loader loads packages on demand and memoizes the results. It is not
+// safe for concurrent use.
+type Loader struct {
+	Fset *token.FileSet
+
+	resolve Resolver
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// New returns a Loader over the given resolver.
+func New(resolve Resolver) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		resolve: resolve,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+}
+
+// Load returns the package at the given import path, type-checking it
+// (and its module-local dependencies) on first use.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("loader: import cycle through %s", path)
+	}
+	dir, files, ok, err := l.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("loader: cannot resolve %s", path)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("loader: no Go files in %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	astFiles := make([]*ast.File, 0, len(files))
+	for _, name := range files {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("loader: %w", err)
+		}
+		astFiles = append(astFiles, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: importerFunc(l.importDep),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(path, l.Fset, astFiles, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("loader: type-checking %s: %w", path, errors.Join(typeErrs...))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("loader: type-checking %s: %w", path, err)
+	}
+
+	pkg := &Package{
+		Path:      path,
+		Name:      tpkg.Name(),
+		Dir:       dir,
+		Fset:      l.Fset,
+		Files:     astFiles,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// importDep satisfies imports during type-checking: module-local paths
+// go through Load, everything else through the stdlib source importer.
+func (l *Loader) importDep(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, _, ok, err := l.resolve(path); err != nil {
+		return nil, err
+	} else if ok {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+}
+
+// GoList resolves patterns (e.g. "./...") against the module rooted at
+// dir. It returns a Resolver covering every non-standard package in the
+// transitive dependency graph, plus the sorted import paths matching
+// the patterns themselves.
+func GoList(dir string, patterns ...string) (Resolver, []string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	metas, err := runGoList(dir, append([]string{"-deps"}, patterns...))
+	if err != nil {
+		return nil, nil, err
+	}
+	byPath := make(map[string]listedPackage)
+	for _, m := range metas {
+		if !m.Standard {
+			byPath[m.ImportPath] = m
+		}
+	}
+	rootMetas, err := runGoList(dir, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	var roots []string
+	for _, m := range rootMetas {
+		if !m.Standard && len(m.GoFiles) > 0 {
+			roots = append(roots, m.ImportPath)
+		}
+	}
+	sort.Strings(roots)
+	resolve := func(path string) (string, []string, bool, error) {
+		m, ok := byPath[path]
+		if !ok {
+			return "", nil, false, nil
+		}
+		return m.Dir, m.GoFiles, true, nil
+	}
+	return resolve, roots, nil
+}
+
+func runGoList(dir string, args []string) ([]listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json=ImportPath,Name,Dir,GoFiles,Standard"}, args...)...)
+	cmd.Dir = dir
+	var out, stderr bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("loader: go list: %v: %s", err, strings.TrimSpace(stderr.String()))
+	}
+	var metas []listedPackage
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		var m listedPackage
+		if err := dec.Decode(&m); err != nil {
+			return nil, fmt.Errorf("loader: decoding go list output: %w", err)
+		}
+		metas = append(metas, m)
+	}
+	return metas, nil
+}
+
+// SrcDir returns a GOPATH-style resolver: import path p maps to
+// root/p, containing every non-test .go file in that directory. Used
+// for analysistest fixture trees.
+func SrcDir(root string) Resolver {
+	return func(path string) (string, []string, bool, error) {
+		dir := filepath.Join(root, filepath.FromSlash(path))
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			if os.IsNotExist(err) {
+				return "", nil, false, nil
+			}
+			return "", nil, false, err
+		}
+		var files []string
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			files = append(files, name)
+		}
+		if len(files) == 0 {
+			return "", nil, false, nil
+		}
+		sort.Strings(files)
+		return dir, files, true, nil
+	}
+}
+
+// ModuleRoot walks up from dir to the nearest directory containing a
+// go.mod file.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("loader: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,62 @@
+package loader
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The lint fixtures double as loader test inputs: they import each
+// other (latlonbounds → geo) and the standard library (sync, math,
+// time), covering all three resolution paths.
+const fixtureRoot = "../testdata/src"
+
+func TestLoadFixturePackage(t *testing.T) {
+	ld := New(SrcDir(fixtureRoot))
+	pkg, err := ld.Load("latlonbounds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Name != "latlonbounds" {
+		t.Fatalf("package name = %q, want latlonbounds", pkg.Name)
+	}
+	if len(pkg.Files) == 0 || pkg.Types == nil || pkg.TypesInfo == nil {
+		t.Fatal("loaded package missing files or type information")
+	}
+	// Loading again returns the memoized package.
+	again, err := ld.Load("latlonbounds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != pkg {
+		t.Fatal("second Load returned a different package instance")
+	}
+	// The geo dependency was loaded transitively and is memoized too.
+	dep, err := ld.Load("geo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.Types.Scope().Lookup("LatLon") == nil {
+		t.Fatal("geo stub lost its LatLon type")
+	}
+}
+
+func TestLoadUnresolvable(t *testing.T) {
+	ld := New(SrcDir(fixtureRoot))
+	if _, err := ld.Load("no/such/package"); err == nil {
+		t.Fatal("loading a nonexistent package succeeded")
+	}
+}
+
+func TestModuleRoot(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("module root %s has no go.mod: %v", root, err)
+	}
+	if _, _, err := GoList(root, "./internal/lint/..."); err != nil {
+		t.Fatalf("GoList on module root: %v", err)
+	}
+}

@@ -1,0 +1,46 @@
+package lint_test
+
+import (
+	"testing"
+
+	"locwatch/internal/lint"
+	"locwatch/internal/lint/loader"
+)
+
+// TestSuiteCleanOnRepo is the cmd/locwatchlint smoke test: the full
+// analyzer suite over every package of this module must report nothing,
+// which is exactly what `locwatchlint ./...` exiting 0 means. It
+// type-checks the entire repository, so it doubles as a regression
+// net for the loader itself.
+func TestSuiteCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	root, err := loader.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolve, roots, err := loader.GoList(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roots) < 10 {
+		t.Fatalf("go list ./... resolved only %d packages: %v", len(roots), roots)
+	}
+	ld := loader.New(resolve)
+	var pkgs []*loader.Package
+	for _, path := range roots {
+		pkg, err := ld.Load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	findings, err := lint.Run(pkgs, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,46 @@
+// Fixtures for the angleunits analyzer: degree-valued names fed to
+// radian trig, and degree/radian parameter mismatches.
+package angleunits
+
+import (
+	"geo"
+	"math"
+)
+
+const degToRad = math.Pi / 180
+
+func trigOnDegrees(bearingDeg float64) float64 {
+	return math.Sin(bearingDeg) // want `degree-valued "bearingDeg" passed to math.Sin`
+}
+
+func trigOnLatLonField(p geo.LatLon) float64 {
+	return math.Cos(p.Lat) // want `degree-valued "p.Lat" passed to math.Cos`
+}
+
+func trigConverted(bearingDeg float64) float64 {
+	return math.Sin(bearingDeg * degToRad)
+}
+
+func trigOnRadians(angleRad float64) (float64, float64) {
+	return math.Sincos(angleRad)
+}
+
+func needsDeg(headingDeg float64) float64 { return headingDeg }
+
+func needsRad(angleRad float64) float64 { return angleRad }
+
+func paramMismatches(aRad, bDeg float64) {
+	needsDeg(aRad)            // want `radian-valued "aRad" passed to parameter "headingDeg"`
+	needsDeg(bDeg * degToRad) // want `radian-valued expression passed to parameter "headingDeg"`
+	needsRad(bDeg)            // want `degree-valued "bDeg" passed to parameter "angleRad"`
+	needsDeg(bDeg)
+	needsRad(aRad)
+}
+
+func destinationOK(p geo.LatLon, courseDeg float64) geo.LatLon {
+	return geo.Destination(p, courseDeg, 10)
+}
+
+func destinationMismatch(p geo.LatLon, courseRad float64) geo.LatLon {
+	return geo.Destination(p, courseRad, 10) // want `radian-valued "courseRad" passed to parameter "bearingDeg"`
+}

@@ -1,0 +1,9 @@
+// Fixture for the detclock analyzer: a package outside the
+// deterministic set may read the wall clock freely.
+package app
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,13 @@
+// Fixture for the detclock analyzer: the package path ends in a
+// deterministic-simulation segment, so wall-clock reads are flagged.
+package mobility
+
+import "time"
+
+func step(prev time.Time) time.Time {
+	return time.Now() // want `time.Now\(\) in deterministic simulation package`
+}
+
+func advance(prev time.Time, dt time.Duration) time.Time {
+	return prev.Add(dt) // injected clock arithmetic: not flagged
+}

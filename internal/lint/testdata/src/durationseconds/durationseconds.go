@@ -1,0 +1,45 @@
+// Fixtures for the durationseconds analyzer: numeric interval-like
+// parameters/fields and raw nanosecond constants are flagged; typed
+// durations and scalar factors are not.
+package durationseconds
+
+import "time"
+
+func pollEvery(intervalSeconds int) int { // want `parameter "intervalSeconds" has bare numeric type int`
+	return intervalSeconds
+}
+
+func withTimeout(timeout float64) float64 { // want `parameter "timeout" has bare numeric type float64`
+	return timeout
+}
+
+func typedOK(interval time.Duration) time.Duration { return interval }
+
+func countOK(n int, name string) (int, string) { return n, name }
+
+type sweepConfig struct {
+	Timeout   int           // want `field "Timeout" has bare numeric type int`
+	GapMillis int64         // want `field "GapMillis" has bare numeric type int64`
+	Observe   time.Duration // typed: not flagged
+	Workers   int           // plain count: not flagged
+}
+
+func bareConstant() time.Duration {
+	return 30 * 60e9 // want `raw numeric time.Duration constant 1800000000000`
+}
+
+func bareArgument() {
+	time.Sleep(5e9) // want `raw numeric time.Duration constant 5000000000`
+}
+
+func spelledOut() time.Duration {
+	return 30 * time.Minute
+}
+
+func scalarFactorOK(days int) time.Duration {
+	return time.Duration(days) * 24 * time.Hour / 2
+}
+
+func sentinelOK() time.Duration {
+	return -1
+}

@@ -1,0 +1,20 @@
+// Package geo is a fixture stub of locwatch/internal/geo: analyzers
+// match the LatLon type by package name + type name, so this minimal
+// copy stands in for the real package inside testdata.
+package geo
+
+type LatLon struct {
+	Lat float64
+	Lon float64
+}
+
+func (p LatLon) Valid() bool {
+	return p.Lat >= -90 && p.Lat <= 90 && p.Lon >= -180 && p.Lon <= 180
+}
+
+// Destination mirrors the real signature: bearing is in degrees.
+func Destination(p LatLon, bearingDeg, dist float64) LatLon {
+	_ = bearingDeg
+	_ = dist
+	return p
+}

@@ -1,0 +1,52 @@
+// Fixtures for the latlonbounds analyzer: seeded out-of-range and
+// unvalidated constructions must be flagged; validated, constant and
+// explicitly ignored ones must stay silent.
+package latlonbounds
+
+import "geo"
+
+func constOutOfRange() geo.LatLon {
+	return geo.LatLon{Lat: 91, Lon: 0} // want `Lat 91 outside`
+}
+
+func constBothOut() geo.LatLon {
+	return geo.LatLon{Lat: -90.5, Lon: 181} // want `Lat -90.5 outside` `Lon 181 outside`
+}
+
+func positionalOut() geo.LatLon {
+	return geo.LatLon{12, -200} // want `Lon -200 outside`
+}
+
+func unvalidated(lat, lon float64) geo.LatLon {
+	return geo.LatLon{Lat: lat, Lon: lon} // want `unvalidated non-constant`
+}
+
+func unvalidatedVar(lat, lon float64) geo.LatLon {
+	p := geo.LatLon{Lat: lat, Lon: lon} // want `unvalidated non-constant`
+	return p
+}
+
+func validated(lat, lon float64) (geo.LatLon, bool) {
+	p := geo.LatLon{Lat: lat, Lon: lon}
+	if !p.Valid() {
+		return geo.LatLon{}, false
+	}
+	return p, true
+}
+
+func validatedInline(lat, lon float64) bool {
+	return geo.LatLon{Lat: lat, Lon: lon}.Valid()
+}
+
+func constInRange() geo.LatLon {
+	return geo.LatLon{Lat: 39.9042, Lon: 116.4074}
+}
+
+func zeroValue() geo.LatLon {
+	return geo.LatLon{}
+}
+
+func ignored(lat, lon float64) geo.LatLon {
+	//lint:ignore latlonbounds fixture exercising the ignore directive
+	return geo.LatLon{Lat: lat, Lon: lon}
+}

@@ -1,0 +1,95 @@
+// Fixtures for the lockedmap analyzer: unguarded writes to captured
+// maps and slices inside go closures are flagged; mutex-guarded writes
+// and the disjoint-index worker-pool idiom are not.
+package lockedmap
+
+import "sync"
+
+func mapUnguarded(keys []string) map[string]int {
+	m := make(map[string]int)
+	var wg sync.WaitGroup
+	for _, k := range keys {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m[k] = len(k) // want `write to captured map "m"`
+		}()
+	}
+	wg.Wait()
+	return m
+}
+
+func mapGuarded(keys []string) map[string]int {
+	m := make(map[string]int)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, k := range keys {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			m[k] = len(k)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return m
+}
+
+func mapUnlockedAgain(m map[string]int, mu *sync.Mutex) {
+	go func() {
+		mu.Lock()
+		m["a"] = 1
+		mu.Unlock()
+		m["b"] = 2 // want `write to captured map "m"`
+	}()
+}
+
+func mapDelete(m map[string]int) {
+	go func() {
+		delete(m, "gone") // want `delete from captured map "m"`
+	}()
+}
+
+func sliceHeaderWrite(n int) []int {
+	var out []int
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out = append(out, 1) // want `reassignment of captured "out"`
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+func sliceSharedIndex(out []int, hot int) {
+	go func() {
+		out[hot]++ // want `write to captured slice "out" at an index shared`
+	}()
+}
+
+func workerPool(jobs chan int, out []int) *sync.WaitGroup {
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = i * i // disjoint per-job index: not flagged
+			}
+		}()
+	}
+	return &wg
+}
+
+func localState(jobs chan int) {
+	go func() {
+		local := make(map[int]int)
+		for i := range jobs {
+			local[i] = i // closure-local map: not flagged
+		}
+	}()
+}

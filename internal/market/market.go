@@ -94,13 +94,13 @@ func prov(ps ...android.Provider) []android.Provider { return ps }
 // 59/102 = 57.8% ≤ 10 s, 70/102 = 68.6% ≤ 60 s, 85.3% ≤ 600 s, one
 // app at the 7,200 s maximum.
 var figure1Buckets = []struct {
-	seconds int
-	count   int
+	interval time.Duration
+	count    int
 }{
-	{1, 18}, {2, 13}, {5, 14}, {10, 14}, // 59 ≤ 10 s
-	{15, 3}, {30, 4}, {60, 4}, // 70 ≤ 60 s
-	{120, 5}, {300, 5}, {600, 7}, // 87 ≤ 600 s (83.8% knee is at 85.3% here)
-	{900, 6}, {1800, 5}, {3600, 3}, {7200, 1}, // tail, max 7,200 s
+	{1 * time.Second, 18}, {2 * time.Second, 13}, {5 * time.Second, 14}, {10 * time.Second, 14}, // 59 ≤ 10 s
+	{15 * time.Second, 3}, {30 * time.Second, 4}, {60 * time.Second, 4}, // 70 ≤ 60 s
+	{2 * time.Minute, 5}, {5 * time.Minute, 5}, {10 * time.Minute, 7}, // 87 ≤ 600 s (83.8% knee is at 85.3% here)
+	{15 * time.Minute, 6}, {30 * time.Minute, 5}, {time.Hour, 3}, {2 * time.Hour, 1}, // tail, max 7,200 s
 }
 
 // Market is the generated app population.
@@ -248,7 +248,7 @@ func figure1Intervals() []time.Duration {
 	var out []time.Duration
 	for _, b := range figure1Buckets {
 		for i := 0; i < b.count; i++ {
-			out = append(out, time.Duration(b.seconds)*time.Second)
+			out = append(out, b.interval)
 		}
 	}
 	return out
