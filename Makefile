@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test check fmt vet lint race fuzz
+.PHONY: all build test check fmt vet lint race fuzz vuln
 
 all: build
 
@@ -12,9 +12,10 @@ test:
 	$(GO) test ./...
 
 ## check is the CI gate: formatting, go vet, the domain lint suite,
-## the full test suite under the race detector, and short fuzz runs
-## over every parser that consumes untrusted input.
-check: fmt vet lint race fuzz
+## the full test suite under the race detector, short fuzz runs over
+## every parser that consumes untrusted input, and a known-vulnerability
+## scan when the environment supports one.
+check: fmt vet lint race fuzz vuln
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -25,8 +26,9 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# The domain analyzers (latlonbounds, angleunits, lockedmap,
-# durationseconds, detclock). Exit status 1 means findings.
+# The domain analyzers: the syntactic tier (latlonbounds, angleunits,
+# lockedmap, durationseconds, detclock) plus the flow-sensitive tier
+# (nilfacade, exhaustenum, errflow). Exit status 1 means findings.
 lint:
 	$(GO) run ./cmd/locwatchlint ./...
 
@@ -39,3 +41,16 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzExtractManifest -fuzztime $(FUZZTIME) ./internal/market
 	$(GO) test -run '^$$' -fuzz FuzzParseDumpsys -fuzztime $(FUZZTIME) ./internal/android
 	$(GO) test -run '^$$' -fuzz FuzzRead -fuzztime $(FUZZTIME) ./internal/trace/plt
+
+# Known-vulnerability scan. govulncheck needs both its binary and the
+# database at https://vuln.go.dev, so environments missing either skip
+# with a notice instead of failing the gate (scripts/netprobe.go does
+# the reachability check).
+vuln:
+	@if ! command -v govulncheck >/dev/null 2>&1; then \
+		echo "vuln: SKIP: govulncheck not installed (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	elif ! $(GO) run ./scripts/netprobe.go; then \
+		echo "vuln: SKIP: vulnerability database vuln.go.dev unreachable"; \
+	else \
+		govulncheck ./...; \
+	fi

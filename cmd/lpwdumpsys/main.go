@@ -13,11 +13,20 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"locwatch/internal/android"
 	"locwatch/internal/geo"
 )
+
+// emit writes one chunk of the report, aborting on write error so a
+// truncated report is never mistaken for a complete one.
+func emit(format string, args ...any) {
+	if _, err := fmt.Fprintf(os.Stdout, format, args...); err != nil {
+		log.Fatalf("write report: %v", err)
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -88,7 +97,7 @@ func main() {
 
 	phase := func(title string) {
 		dev.Advance(*advance)
-		fmt.Printf("--- %s (clock %s, location indicator lit: %v) ---\n%s\n",
+		emit("--- %s (clock %s, location indicator lit: %v) ---\n%s\n",
 			title, dev.Now().Format("15:04:05"), dev.NotificationVisible(), dev.Dumpsys())
 	}
 
@@ -115,7 +124,7 @@ func main() {
 			log.Fatal(err)
 		}
 		bg := app.BackgroundFixes()
-		fmt.Printf("%-28s state=%-10s fixes=%-5d background=%d\n",
+		emit("%-28s state=%-10s fixes=%-5d background=%d\n",
 			pkg, app.State(), len(app.Fixes()), len(bg))
 	}
 }

@@ -11,8 +11,10 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -44,17 +46,28 @@ func main() {
 	}
 	report := market.Aggregate(obs, m.Len())
 
-	out := os.Stdout
+	out := bufio.NewWriter(os.Stdout)
 	if *section3 {
-		fmt.Fprintln(out, "=== Section III: location access in the app market ===")
-		fmt.Fprintln(out, report.RenderSectionIII())
+		emit(out, "=== Section III: location access in the app market ===")
+		emit(out, report.RenderSectionIII())
 	}
 	if *table1 {
-		fmt.Fprintln(out, "=== Table I: location providers used by background apps ===")
-		fmt.Fprintln(out, report.RenderTableI())
+		emit(out, "=== Table I: location providers used by background apps ===")
+		emit(out, report.RenderTableI())
 	}
 	if *fig1 {
-		fmt.Fprintln(out, "=== Figure 1 ===")
-		fmt.Fprintln(out, report.RenderFigure1())
+		emit(out, "=== Figure 1 ===")
+		emit(out, report.RenderFigure1())
+	}
+	if err := out.Flush(); err != nil {
+		log.Fatalf("write report: %v", err)
+	}
+}
+
+// emit writes one report line. A truncated report must not pass for a
+// complete one, so write errors abort the run.
+func emit(w io.Writer, line string) {
+	if _, err := fmt.Fprintln(w, line); err != nil {
+		log.Fatalf("write report: %v", err)
 	}
 }

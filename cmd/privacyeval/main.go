@@ -15,11 +15,20 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
 	"locwatch/internal/experiments"
 )
+
+// emit writes one rendered section, aborting on write error so a
+// truncated report is never mistaken for a complete one.
+func emit(format string, args ...any) {
+	if _, err := fmt.Fprintf(os.Stdout, format, args...); err != nil {
+		log.Fatalf("write report: %v", err)
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -58,7 +67,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
-		fmt.Printf("=== %s (%v) ===\n%s\n", name, time.Since(start).Round(time.Second), r.Render())
+		emit("=== %s (%v) ===\n%s\n", name, time.Since(start).Round(time.Second), r.Render())
 	}
 
 	want := func(name string) bool { return *exp == "all" || strings.EqualFold(*exp, name) }

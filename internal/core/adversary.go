@@ -101,7 +101,10 @@ func (a *Adversary) Identify(observed *Profile, pattern Pattern) (Identification
 			case WeightChiSquare:
 				// Formula 2 verbatim: weight by the statistic itself.
 				weights[i] = c.Result.Statistic
+			case WeightPValue:
+				weights[i] = c.Result.PValue
 			default:
+				// Unknown weighting: keep the default p-value reading.
 				weights[i] = c.Result.PValue
 			}
 			// A perfect fit has statistic 0 / p-value 1; make sure a

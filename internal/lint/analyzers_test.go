@@ -34,3 +34,22 @@ func TestDetClock(t *testing.T) {
 func TestLatLonBoundsSkipsGeo(t *testing.T) {
 	analysistest.Run(t, fixtures, lint.LatLonBounds, "geo")
 }
+
+func TestExhaustEnum(t *testing.T) {
+	analysistest.Run(t, fixtures, lint.ExhaustEnum, "exhaustenum")
+}
+
+// TestExhaustEnumMissingMember is the growth regression: each linted
+// enum gained one member in the stub packages, and every switch that
+// was exhaustive before the addition must now be reported.
+func TestExhaustEnumMissingMember(t *testing.T) {
+	analysistest.Run(t, fixtures, lint.ExhaustEnum, "exhaustenum_sentinel")
+}
+
+func TestNilFacade(t *testing.T) {
+	analysistest.Run(t, fixtures, lint.NilFacade, "nilfacade")
+}
+
+func TestErrFlow(t *testing.T) {
+	analysistest.Run(t, fixtures, lint.ErrFlow, "errflow")
+}

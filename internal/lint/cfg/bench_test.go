@@ -1,0 +1,120 @@
+package cfg_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"locwatch/internal/lint/cfg"
+)
+
+// benchBody is a control-flow-dense function body: nested loops,
+// branches, switches with fallthrough, labeled break, and terminating
+// calls — the shapes the analyzers exercise on real packages.
+const benchBody = `
+	total := 0
+outer:
+	for i := 0; i < 100; i++ {
+		switch i % 4 {
+		case 0:
+			total += i
+			fallthrough
+		case 1:
+			total++
+		case 2:
+			if total > 1000 {
+				break outer
+			}
+		default:
+			for j := 0; j < i; j++ {
+				if j == 7 {
+					continue
+				}
+				total += j
+			}
+		}
+		if total < 0 {
+			panic("impossible")
+		}
+	}
+	for k := range []int{1, 2, 3} {
+		total += k
+	}
+	if total == 42 {
+		goto done
+	}
+	total *= 2
+done:
+	_ = total
+`
+
+// parseBenchFunc parses the benchmark body once, outside the timed loop.
+func parseBenchFunc(b *testing.B) *ast.BlockStmt {
+	b.Helper()
+	src := "package p\nfunc f() {\n" + benchBody + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		b.Fatalf("parse: %v", err)
+	}
+	return file.Decls[len(file.Decls)-1].(*ast.FuncDecl).Body
+}
+
+func BenchmarkBuild(b *testing.B) {
+	body := parseBenchFunc(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g := cfg.Build(body); len(g.Blocks) == 0 {
+			b.Fatal("empty CFG")
+		}
+	}
+}
+
+func BenchmarkReachable(b *testing.B) {
+	g := cfg.Build(parseBenchFunc(b))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(g.Reachable()) == 0 {
+			b.Fatal("no reachable blocks")
+		}
+	}
+}
+
+// BenchmarkBuildLarge scales a label-free fragment up to approximate a
+// long hand-written function, pinning Build's behaviour on big inputs.
+func BenchmarkBuildLarge(b *testing.B) {
+	const part = `
+	total := 0
+	for i := 0; i < 100; i++ {
+		switch i % 3 {
+		case 0:
+			total += i
+		case 1:
+			if total > 1000 {
+				total = 0
+			}
+		default:
+			for j := 0; j < i; j++ {
+				total += j
+			}
+		}
+	}
+	_ = total
+`
+	src := "package p\nfunc f() {\n" + strings.Repeat(part, 20) + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		b.Fatalf("parse: %v", err)
+	}
+	body := file.Decls[len(file.Decls)-1].(*ast.FuncDecl).Body
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Build(body)
+	}
+}

@@ -1,0 +1,304 @@
+package cfg_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"locwatch/internal/lint/cfg"
+)
+
+// buildFunc parses src (a file fragment containing one function f) and
+// returns the CFG of f's body.
+func buildFunc(t *testing.T, body string) *cfg.CFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := file.Decls[len(file.Decls)-1].(*ast.FuncDecl)
+	return cfg.Build(fn.Body)
+}
+
+// reachableCount returns how many blocks are reachable from entry.
+func reachableCount(g *cfg.CFG) int { return len(g.Reachable()) }
+
+func TestStraightLine(t *testing.T) {
+	g := buildFunc(t, "x := 1\ny := x\n_ = y")
+	if len(g.Blocks) != 1 {
+		t.Fatalf("straight-line code built %d blocks, want 1", len(g.Blocks))
+	}
+	if n := len(g.Blocks[0].Nodes); n != 3 {
+		t.Fatalf("entry block has %d nodes, want 3", n)
+	}
+	if len(g.Blocks[0].Succs) != 0 {
+		t.Fatalf("entry block has successors %v, want none", g.Blocks[0].Succs)
+	}
+}
+
+func TestIfBranchEdges(t *testing.T) {
+	g := buildFunc(t, "x := 1\nif x > 0 {\n x = 2\n} else {\n x = 3\n}\n_ = x")
+	entry := g.Blocks[0]
+	if entry.Cond == nil {
+		t.Fatal("entry block of if has no Cond")
+	}
+	if len(entry.Succs) != 2 {
+		t.Fatalf("if head has %d successors, want 2 (true, false)", len(entry.Succs))
+	}
+	// Both arms converge on the after block.
+	thenB, elseB := entry.Succs[0], entry.Succs[1]
+	if len(thenB.Succs) != 1 || len(elseB.Succs) != 1 || thenB.Succs[0] != elseB.Succs[0] {
+		t.Fatalf("if arms do not converge: then→%v else→%v", thenB.Succs, elseB.Succs)
+	}
+}
+
+func TestIfWithoutElseFalseEdge(t *testing.T) {
+	g := buildFunc(t, "x := 1\nif x > 0 {\n x = 2\n}\n_ = x")
+	entry := g.Blocks[0]
+	if len(entry.Succs) != 2 {
+		t.Fatalf("if head has %d successors, want 2", len(entry.Succs))
+	}
+	// Succs[1] (false edge) must be the join block the then-arm also
+	// reaches.
+	thenB, after := entry.Succs[0], entry.Succs[1]
+	if len(thenB.Succs) != 1 || thenB.Succs[0] != after {
+		t.Fatalf("then arm →%v, want →after block %d", thenB.Succs, after.Index)
+	}
+}
+
+func TestReturnTerminates(t *testing.T) {
+	g := buildFunc(t, "return\nx := 1\n_ = x")
+	reach := g.Reachable()
+	var deadNodes int
+	for _, blk := range g.Blocks {
+		if !reach[blk] {
+			deadNodes += len(blk.Nodes)
+		}
+	}
+	if deadNodes == 0 {
+		t.Fatal("statements after return should land in an unreachable block")
+	}
+}
+
+func TestPanicAndOsExitTerminate(t *testing.T) {
+	for _, body := range []string{
+		"panic(\"boom\")\nx := 1\n_ = x",
+		"os.Exit(1)\nx := 1\n_ = x",
+		"log.Fatalf(\"no\")\nx := 1\n_ = x",
+	} {
+		g := buildFunc(t, body)
+		reach := g.Reachable()
+		dead := 0
+		for _, blk := range g.Blocks {
+			if !reach[blk] {
+				dead++
+			}
+		}
+		if dead == 0 {
+			t.Errorf("body %q: no unreachable block after terminating call", body)
+		}
+	}
+}
+
+func TestForLoopBackEdge(t *testing.T) {
+	g := buildFunc(t, "s := 0\nfor i := 0; i < 10; i++ {\n s += i\n}\n_ = s")
+	// Some block must have a back edge: a successor with a smaller or
+	// equal index that is also an ancestor. Cheap check: any block
+	// whose successor list contains an earlier block.
+	back := false
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			if s.Index <= blk.Index {
+				back = true
+			}
+		}
+	}
+	if !back {
+		t.Fatal("for loop built no back edge")
+	}
+	if reachableCount(g) < 4 {
+		t.Fatalf("for loop reachable blocks = %d, want ≥ 4", reachableCount(g))
+	}
+}
+
+func TestRangeLoop(t *testing.T) {
+	g := buildFunc(t, "xs := []int{1, 2}\nt := 0\nfor _, x := range xs {\n t += x\n}\n_ = t")
+	// The head must hold the RangeStmt marker and have two successors
+	// (body, after).
+	var head *cfg.Block
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if _, ok := n.(*ast.RangeStmt); ok {
+				head = blk
+			}
+		}
+	}
+	if head == nil {
+		t.Fatal("no block carries the RangeStmt marker")
+	}
+	if len(head.Succs) != 2 {
+		t.Fatalf("range head has %d successors, want 2", len(head.Succs))
+	}
+}
+
+func TestSwitchClausesAndDefault(t *testing.T) {
+	// Without default: head edges to each clause plus after.
+	g := buildFunc(t, "x := 1\nswitch x {\ncase 1:\n x = 10\ncase 2:\n x = 20\n}\n_ = x")
+	entry := g.Blocks[0]
+	if len(entry.Succs) != 3 {
+		t.Fatalf("switch head (no default) has %d successors, want 3", len(entry.Succs))
+	}
+	// With default: no direct head→after edge.
+	g = buildFunc(t, "x := 1\nswitch x {\ncase 1:\n x = 10\ndefault:\n x = 20\n}\n_ = x")
+	entry = g.Blocks[0]
+	if len(entry.Succs) != 2 {
+		t.Fatalf("switch head (default) has %d successors, want 2", len(entry.Succs))
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	g := buildFunc(t, "x := 1\nswitch x {\ncase 1:\n x = 10\n fallthrough\ncase 2:\n x = 20\n}\n_ = x")
+	// The first clause must edge into the second clause's block, not
+	// into after.
+	entry := g.Blocks[0]
+	first := entry.Succs[0]
+	second := entry.Succs[1]
+	found := false
+	for _, s := range first.Succs {
+		if s == second {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("fallthrough clause →%v does not reach next clause %d", first.Succs, second.Index)
+	}
+}
+
+func TestBreakAndContinue(t *testing.T) {
+	g := buildFunc(t, `
+	s := 0
+	for i := 0; i < 10; i++ {
+		if i == 3 {
+			continue
+		}
+		if i == 7 {
+			break
+		}
+		s += i
+	}
+	_ = s`)
+	if reachableCount(g) < 6 {
+		t.Fatalf("loop with break/continue: %d reachable blocks, want ≥ 6", reachableCount(g))
+	}
+	// Everything must still be reachable — break/continue only
+	// redirect edges, they don't orphan code.
+	reach := g.Reachable()
+	for _, blk := range g.Blocks {
+		if !reach[blk] && len(blk.Nodes) > 0 {
+			t.Errorf("block %d with %d nodes unreachable", blk.Index, len(blk.Nodes))
+		}
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	g := buildFunc(t, `
+	s := 0
+outer:
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i*j > 2 {
+				break outer
+			}
+			s++
+		}
+	}
+	_ = s`)
+	reach := g.Reachable()
+	for _, blk := range g.Blocks {
+		if !reach[blk] && len(blk.Nodes) > 0 {
+			t.Errorf("labeled break orphaned block %d (%d nodes)", blk.Index, len(blk.Nodes))
+		}
+	}
+}
+
+func TestGotoForwardAndBackward(t *testing.T) {
+	g := buildFunc(t, `
+	i := 0
+loop:
+	i++
+	if i < 3 {
+		goto loop
+	}
+	goto done
+done:
+	_ = i`)
+	reach := g.Reachable()
+	for _, blk := range g.Blocks {
+		if !reach[blk] && len(blk.Nodes) > 0 {
+			t.Errorf("goto orphaned block %d", blk.Index)
+		}
+	}
+}
+
+func TestTypeSwitch(t *testing.T) {
+	g := buildFunc(t, `
+	var v interface{} = 3
+	switch x := v.(type) {
+	case int:
+		_ = x
+	case string:
+		_ = x
+	default:
+		_ = x
+	}`)
+	entry := g.Blocks[0]
+	if len(entry.Succs) != 3 {
+		t.Fatalf("type switch head has %d successors, want 3", len(entry.Succs))
+	}
+}
+
+func TestSelect(t *testing.T) {
+	g := buildFunc(t, `
+	ch := make(chan int)
+	select {
+	case v := <-ch:
+		_ = v
+	default:
+	}
+	_ = ch`)
+	if reachableCount(g) < 3 {
+		t.Fatalf("select: %d reachable blocks, want ≥ 3", reachableCount(g))
+	}
+}
+
+func TestNilBody(t *testing.T) {
+	g := cfg.Build(nil)
+	if len(g.Blocks) != 1 || len(g.Blocks[0].Nodes) != 0 {
+		t.Fatalf("nil body: got %d blocks", len(g.Blocks))
+	}
+}
+
+func TestCondTrueFalseOrder(t *testing.T) {
+	// The documented contract: Succs[0] is the true edge. Verify by
+	// putting a return in the then-arm: the false edge must reach the
+	// trailing statement, the true edge must not.
+	g := buildFunc(t, "x := 1\nif x > 0 {\n return\n}\nx = 5\n_ = x")
+	entry := g.Blocks[0]
+	trueB, falseB := entry.Succs[0], entry.Succs[1]
+	if len(trueB.Succs) != 0 {
+		t.Fatalf("true arm (return) has successors %v", trueB.Succs)
+	}
+	// falseB is the join block holding `x = 5`.
+	foundAssign := false
+	for _, n := range falseB.Nodes {
+		if _, ok := n.(*ast.AssignStmt); ok {
+			foundAssign = true
+		}
+	}
+	if !foundAssign {
+		t.Fatalf("false edge does not lead to the trailing assignment (block %d nodes %d)", falseB.Index, len(falseB.Nodes))
+	}
+}

@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"locwatch/internal/lint/analysis"
+)
+
+// ExhaustEnum enforces exhaustive switches over the closed enums the
+// paper's risk pipeline dispatches on. The His_bin detector, the
+// adversary and the mobility simulator all branch on small integer
+// enums (android.Provider, core.Pattern, mobility.VenueKind, …); a
+// switch that silently lumps a member into `default:` turns an added
+// enum member into a wrong Table III / Figures 2–5 number instead of a
+// build failure.
+//
+// A switch over a registered enum type must list every declared member
+// of that type in its cases. A `default:` clause alone does NOT make a
+// switch exhaustive (mirroring the x/tools `exhaustive` analyzer's
+// default mode): an intentionally open switch must carry both a
+// default clause and a
+//
+//	//lint:exhaustive reason
+//
+// directive on the switch statement (or the line above it). Count
+// sentinels — members whose name starts with "num" — are not required.
+var ExhaustEnum = &analysis.Analyzer{
+	Name: "exhaustenum",
+	Doc: "flags switches over the domain enums (Provider, Pattern, VenueKind, Tail, …) " +
+		"that do not cover every declared member",
+	Run: runExhaustEnum,
+}
+
+// enumRegistry lists the closed enums by defining package name and
+// type name. Matching is by package *name* (see analysis.IsNamed) so
+// fixture stubs exercise the same paths as the real packages.
+var enumRegistry = map[string][]string{
+	"android":  {"Provider", "Permission", "AppState"},
+	"mobility": {"VenueKind", "RecordingMode"},
+	"core":     {"Pattern", "Weighting"},
+	"stats":    {"Tail"},
+}
+
+func runExhaustEnum(pass *analysis.Pass) error {
+	optOut := exhaustiveDirectives(pass)
+	analysis.Preorder(pass.Files, func(n ast.Node) {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok || sw.Tag == nil {
+			return
+		}
+		tv, ok := pass.TypesInfo.Types[sw.Tag]
+		if !ok {
+			return
+		}
+		named := registeredEnum(tv.Type)
+		if named == nil {
+			return
+		}
+		members := enumMembers(named)
+		if len(members) == 0 {
+			return
+		}
+		covered, hasDefault := coveredValues(pass, sw)
+		var missing []string
+		for _, m := range members {
+			if !covered[m.value] {
+				missing = append(missing, m.name)
+			}
+		}
+		if len(missing) == 0 {
+			return
+		}
+		if hasDefault && optOut.matches(pass.Fset, sw.Pos()) {
+			return
+		}
+		obj := named.Obj()
+		pass.Reportf(sw.Pos(),
+			"switch over %s.%s is missing cases %s (cover them, or add a default clause with a //lint:exhaustive directive)",
+			obj.Pkg().Name(), obj.Name(), strings.Join(missing, ", "))
+	})
+	return nil
+}
+
+// registeredEnum returns the named type when t is one of the
+// registered enum types, else nil.
+func registeredEnum(t types.Type) *types.Named {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return nil
+	}
+	for _, typeName := range enumRegistry[obj.Pkg().Name()] {
+		if obj.Name() == typeName {
+			return named
+		}
+	}
+	return nil
+}
+
+type enumMember struct {
+	name  string
+	value string // exact constant representation
+}
+
+// enumMembers returns the declared package-level constants of the
+// enum's defining package whose type is exactly the enum, excluding
+// "num…" count sentinels, sorted by declaration value.
+func enumMembers(named *types.Named) []enumMember {
+	scope := named.Obj().Pkg().Scope()
+	var out []enumMember
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		if strings.HasPrefix(name, "num") {
+			continue // count sentinel (numVenueKinds style)
+		}
+		out = append(out, enumMember{name: name, value: c.Val().ExactString()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].value < out[j].value })
+	return out
+}
+
+// coveredValues collects the exact constant values named by the
+// switch's case expressions, and whether a default clause exists.
+func coveredValues(pass *analysis.Pass, sw *ast.SwitchStmt) (map[string]bool, bool) {
+	covered := make(map[string]bool)
+	hasDefault := false
+	for _, st := range sw.Body.List {
+		cc, ok := st.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+			continue
+		}
+		for _, e := range cc.List {
+			if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+	return covered, hasDefault
+}
+
+// directiveSet records the file lines carrying a //lint:exhaustive
+// directive; like //lint:ignore, a directive covers its own line and
+// the one below, so it works trailing the switch keyword or standalone
+// above it.
+type directiveSet map[string]map[int]bool
+
+func (s directiveSet) matches(fset *token.FileSet, pos token.Pos) bool {
+	p := fset.Position(pos)
+	return s[p.Filename][p.Line]
+}
+
+func exhaustiveDirectives(pass *analysis.Pass) directiveSet {
+	set := make(directiveSet)
+	for _, f := range pass.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "lint:exhaustive") {
+					continue
+				}
+				p := pass.Fset.Position(c.Pos())
+				if set[p.Filename] == nil {
+					set[p.Filename] = make(map[int]bool)
+				}
+				set[p.Filename][p.Line] = true
+				set[p.Filename][p.Line+1] = true
+			}
+		}
+	}
+	return set
+}

@@ -23,14 +23,19 @@ import (
 	"locwatch/internal/lint/loader"
 )
 
-// All returns the full analyzer suite in stable order.
+// All returns the full analyzer suite in stable order: the five
+// syntactic analyzers from the first tier plus the flow-sensitive tier
+// (errflow, exhaustenum, nilfacade) built on internal/lint/cfg.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		AngleUnits,
 		DetClock,
 		DurationSeconds,
+		ErrFlow,
+		ExhaustEnum,
 		LatLonBounds,
 		LockedMap,
+		NilFacade,
 	}
 }
 

@@ -1,0 +1,22 @@
+// Package android is a fixture stub mirroring the enum shape of the
+// real internal/android package; exhaustenum matches by package name.
+package android
+
+// Provider is an Android location provider.
+type Provider int
+
+const (
+	GPS Provider = iota
+	Network
+	Passive
+	Fused
+)
+
+// AppState is an app's lifecycle state.
+type AppState int
+
+const (
+	StateStopped AppState = iota
+	StateForeground
+	StateBackground
+)

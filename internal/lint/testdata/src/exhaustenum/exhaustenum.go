@@ -1,0 +1,105 @@
+// Fixtures for the exhaustenum analyzer: switches over the registered
+// domain enums must cover every declared member; a bare default does
+// not count, a default plus //lint:exhaustive does; "num…" count
+// sentinels are never required.
+package exhaustenum
+
+import (
+	"exhaustenum/android"
+	"exhaustenum/mobility"
+	"exhaustenum/stats"
+)
+
+// missingTwo lumps Passive and Fused into the implicit zero branch —
+// the silent-member bug.
+func missingTwo(p android.Provider) int {
+	switch p { // want `switch over android.Provider is missing cases Passive, Fused`
+	case android.GPS:
+		return 1
+	case android.Network:
+		return 2
+	}
+	return 0
+}
+
+// defaultDoesNotExhaust has a default clause but no directive: a new
+// AppState member would be silently lumped in.
+func defaultDoesNotExhaust(s android.AppState) string {
+	switch s { // want `switch over android.AppState is missing cases StateForeground, StateBackground`
+	case android.StateStopped:
+		return "stopped"
+	default:
+		return "running"
+	}
+}
+
+// venueGap misses Office and Rare.
+func venueGap(k mobility.VenueKind) bool {
+	switch k { // want `switch over mobility.VenueKind is missing cases Office, Rare`
+	case mobility.Residential:
+		return true
+	}
+	return false
+}
+
+// directiveWithoutDefault does not qualify for the opt-out: the
+// directive requires a default clause to catch the missing members.
+func directiveWithoutDefault(t stats.Tail) int {
+	//lint:exhaustive lower tail handled by caller
+	switch t { // want `switch over stats.Tail is missing cases TailLower`
+	case stats.TailUpper:
+		return 1
+	}
+	return 0
+}
+
+// covered is exhaustive: every Provider member is listed (an extra
+// default for out-of-range values is fine).
+func covered(p android.Provider) string {
+	switch p {
+	case android.GPS:
+		return "gps"
+	case android.Network:
+		return "network"
+	case android.Passive:
+		return "passive"
+	case android.Fused:
+		return "fused"
+	default:
+		return "unknown"
+	}
+}
+
+// optedOut is intentionally open: default clause plus directive.
+func optedOut(k mobility.VenueKind) bool {
+	//lint:exhaustive only residence placement differs
+	switch k {
+	case mobility.Residential:
+		return true
+	default:
+		return false
+	}
+}
+
+// sentinelNotRequired covers everything except the numVenueKinds
+// counter, which must not be demanded.
+func sentinelNotRequired(k mobility.VenueKind) string {
+	switch k {
+	case mobility.Residential:
+		return "residential"
+	case mobility.Office:
+		return "office"
+	case mobility.Rare:
+		return "rare"
+	}
+	return "?"
+}
+
+// plainIntSwitch is not an enum switch at all.
+func plainIntSwitch(n int) int {
+	switch n {
+	case 1:
+		return 10
+	}
+	return 0
+}

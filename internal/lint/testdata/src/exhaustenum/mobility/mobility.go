@@ -1,0 +1,17 @@
+// Package mobility is a fixture stub with a "num…" count sentinel,
+// pinning that sentinels are not required members.
+package mobility
+
+// VenueKind classifies venues.
+type VenueKind int
+
+const (
+	Residential VenueKind = iota
+	Office
+	Rare
+	numVenueKinds
+)
+
+// Kinds reports how many venue kinds exist (uses the sentinel so it is
+// not dead code).
+func Kinds() int { return int(numVenueKinds) }

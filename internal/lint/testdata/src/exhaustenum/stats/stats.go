@@ -1,0 +1,10 @@
+// Package stats is a fixture stub for the Tail enum.
+package stats
+
+// Tail selects a chi-square tail.
+type Tail int
+
+const (
+	TailUpper Tail = iota
+	TailLower
+)

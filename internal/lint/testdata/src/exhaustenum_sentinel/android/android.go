@@ -1,0 +1,31 @@
+// Package android: fixture stub whose enums each carry one EXTRA
+// member beyond what the switches in the root fixture handle —
+// simulating the real package growing a member.
+package android
+
+type Provider int
+
+const (
+	GPS Provider = iota
+	Network
+	Passive
+	Fused
+	Beacon // the newly added member
+)
+
+type Permission int
+
+const (
+	PermFine Permission = iota
+	PermCoarse
+	PermBackground // the newly added member
+)
+
+type AppState int
+
+const (
+	StateStopped AppState = iota
+	StateForeground
+	StateBackground
+	StateCached // the newly added member
+)

@@ -1,0 +1,18 @@
+// Package core: fixture stub with one extra member per enum.
+package core
+
+type Pattern int
+
+const (
+	PatternRegion Pattern = iota
+	PatternMovement
+	PatternHybrid // the newly added member
+)
+
+type Weighting int
+
+const (
+	WeightPValue Weighting = iota
+	WeightChiSquare
+	WeightEntropy // the newly added member
+)

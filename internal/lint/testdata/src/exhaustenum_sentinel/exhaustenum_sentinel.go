@@ -1,0 +1,101 @@
+// Fixtures pinning the growth property the analyzer exists for: every
+// switch below was exhaustive until its enum grew one member (see the
+// stub packages); exhaustenum must now report each of them.
+package exhaustenum_sentinel
+
+import (
+	"exhaustenum_sentinel/android"
+	"exhaustenum_sentinel/core"
+	"exhaustenum_sentinel/mobility"
+	"exhaustenum_sentinel/stats"
+)
+
+func provider(p android.Provider) string {
+	switch p { // want `switch over android.Provider is missing cases Beacon`
+	case android.GPS:
+		return "gps"
+	case android.Network:
+		return "network"
+	case android.Passive:
+		return "passive"
+	case android.Fused:
+		return "fused"
+	}
+	return "?"
+}
+
+func permission(p android.Permission) string {
+	switch p { // want `switch over android.Permission is missing cases PermBackground`
+	case android.PermFine:
+		return "fine"
+	case android.PermCoarse:
+		return "coarse"
+	}
+	return "?"
+}
+
+func appState(s android.AppState) string {
+	switch s { // want `switch over android.AppState is missing cases StateCached`
+	case android.StateStopped:
+		return "stopped"
+	case android.StateForeground:
+		return "foreground"
+	case android.StateBackground:
+		return "background"
+	}
+	return "?"
+}
+
+func venueKind(k mobility.VenueKind) string {
+	switch k { // want `switch over mobility.VenueKind is missing cases Transit`
+	case mobility.Residential:
+		return "residential"
+	case mobility.Office:
+		return "office"
+	case mobility.Rare:
+		return "rare"
+	}
+	return "?"
+}
+
+func recordingMode(m mobility.RecordingMode) string {
+	switch m { // want `switch over mobility.RecordingMode is missing cases RecordBattery`
+	case mobility.RecordContinuous:
+		return "continuous"
+	case mobility.RecordTripsOnly:
+		return "trips-only"
+	case mobility.RecordSparse:
+		return "sparse"
+	}
+	return "?"
+}
+
+func pattern(p core.Pattern) string {
+	switch p { // want `switch over core.Pattern is missing cases PatternHybrid`
+	case core.PatternRegion:
+		return "region"
+	case core.PatternMovement:
+		return "movement"
+	}
+	return "?"
+}
+
+func weighting(w core.Weighting) string {
+	switch w { // want `switch over core.Weighting is missing cases WeightEntropy`
+	case core.WeightPValue:
+		return "p-value"
+	case core.WeightChiSquare:
+		return "chi-square"
+	}
+	return "?"
+}
+
+func tail(t stats.Tail) string {
+	switch t { // want `switch over stats.Tail is missing cases TailBoth`
+	case stats.TailUpper:
+		return "upper"
+	case stats.TailLower:
+		return "lower"
+	}
+	return "?"
+}

@@ -1,0 +1,20 @@
+// Package mobility: fixture stub with one extra member per enum.
+package mobility
+
+type VenueKind int
+
+const (
+	Residential VenueKind = iota
+	Office
+	Rare
+	Transit // the newly added member
+)
+
+type RecordingMode int
+
+const (
+	RecordContinuous RecordingMode = iota
+	RecordTripsOnly
+	RecordSparse
+	RecordBattery // the newly added member
+)

@@ -1,0 +1,10 @@
+// Package stats: fixture stub with one extra member.
+package stats
+
+type Tail int
+
+const (
+	TailUpper Tail = iota
+	TailLower
+	TailBoth // the newly added member
+)

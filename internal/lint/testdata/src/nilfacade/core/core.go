@@ -1,0 +1,42 @@
+// Package core is a fixture stub of the facade types nilfacade
+// tracks; matching is by type name so the stub exercises the real
+// paths.
+package core
+
+import "errors"
+
+type Profile struct {
+	Visits int
+}
+
+func (p *Profile) Anchor() int { return p.Visits }
+
+type Detector struct {
+	fed int
+}
+
+func (d *Detector) Feed(x int) { d.fed += x }
+
+type Adversary struct {
+	N int
+}
+
+type Config struct {
+	Users int
+}
+
+// NewDetector fails on nil input — the error result exists so callers
+// notice; discarding it is the misuse nilfacade flags.
+func NewDetector(p *Profile) (*Detector, error) {
+	if p == nil {
+		return nil, errors.New("core: nil reference profile")
+	}
+	return &Detector{}, nil
+}
+
+func BuildProfile(n int) (*Profile, error) {
+	if n <= 0 {
+		return nil, errors.New("core: no data")
+	}
+	return &Profile{Visits: n}, nil
+}

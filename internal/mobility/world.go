@@ -315,6 +315,9 @@ func (w *World) genVenues(rng *rand.Rand) {
 		n := int(math.Round(m.frac * float64(w.cfg.Venues)))
 		for i := 0; i < n; i++ {
 			var pos geo.LatLon
+			// Only homes and workplaces cluster into districts; every
+			// other kind scatters city-wide, including future kinds.
+			//lint:exhaustive placement only distinguishes district-clustered kinds
 			switch m.kind {
 			case Residential, Office:
 				center := districts[rng.Intn(nDistricts)]
@@ -481,7 +484,11 @@ func (w *World) genUsers(rng *rand.Rand) {
 		switch u.Mode {
 		case RecordSparse:
 			u.recordProb = 0.5 + r.Float64()*0.3
+		case RecordContinuous, RecordTripsOnly:
+			u.recordProb = 0.85 + r.Float64()*0.15
 		default:
+			// Unknown modes record like continuous users. Each branch
+			// draws exactly once so the seeded stream stays aligned.
 			u.recordProb = 0.85 + r.Float64()*0.15
 		}
 

@@ -102,8 +102,12 @@ func ChiSquareTest(observed, expected []float64, tail Tail) (GoodnessOfFit, erro
 	switch tail {
 	case TailLower:
 		g.PValue, err = ChiSquareCDF(stat, df)
-	default:
+	case TailUpper:
 		g.PValue, err = ChiSquareSurvival(stat, df)
+	default:
+		// An out-of-range Tail would silently skew every His_bin
+		// decision; fail loudly instead.
+		err = fmt.Errorf("stats: unknown tail %v", tail)
 	}
 	if err != nil {
 		return GoodnessOfFit{}, fmt.Errorf("stats: chi-square tail probability: %w", err)

@@ -128,7 +128,8 @@ func ReadFile(path string) (*trace.Trace, error) {
 	if err != nil {
 		return nil, fmt.Errorf("plt: %w", err)
 	}
-	defer f.Close()
+	// The file is only read; a Close error cannot lose data.
+	defer func() { _ = f.Close() }()
 	tr, err := Read(f)
 	if err != nil {
 		return nil, fmt.Errorf("plt: %s: %w", path, err)
@@ -146,7 +147,7 @@ func WriteFile(path string, pts []trace.Point) error {
 		return fmt.Errorf("plt: %w", err)
 	}
 	if err := Write(f, pts); err != nil {
-		f.Close()
+		_ = f.Close() // the write error takes precedence
 		return err
 	}
 	if err := f.Close(); err != nil {

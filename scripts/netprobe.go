@@ -1,0 +1,28 @@
+//go:build ignore
+
+// Netprobe reports whether the Go vulnerability database is reachable:
+// it exits 0 when a TCP connection to vuln.go.dev:443 (or the host
+// given as the first argument) succeeds within three seconds, and 1
+// otherwise. `make vuln` runs it to decide between invoking
+// govulncheck and skipping with a notice in offline environments.
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"time"
+)
+
+func main() {
+	host := "vuln.go.dev"
+	if len(os.Args) > 1 {
+		host = os.Args[1]
+	}
+	conn, err := net.DialTimeout("tcp", net.JoinHostPort(host, "443"), 3*time.Second)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "netprobe: %s unreachable: %v\n", host, err)
+		os.Exit(1)
+	}
+	_ = conn.Close()
+}
