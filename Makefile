@@ -1,7 +1,9 @@
 GO ?= go
 FUZZTIME ?= 10s
+BENCHTIME ?= 1x
+BENCHOUT ?= BENCH_3.json
 
-.PHONY: all build test check fmt vet lint race fuzz vuln
+.PHONY: all build test check fmt vet lint race fuzz vuln bench
 
 all: build
 
@@ -34,6 +36,14 @@ lint:
 
 race:
 	$(GO) test -race ./...
+
+# Reproducible benchmark run: replays the root figure/ablation suite on
+# a shared Quick-config Lab and refreshes the "after" column of the
+# checked-in trajectory artifact, keeping its "before" baseline. Raise
+# BENCHTIME (e.g. 5x) for lower-noise numbers; see DESIGN.md §7 for how
+# to read BENCH_*.json.
+bench:
+	$(GO) run ./scripts/benchjson -benchtime $(BENCHTIME) -keep-before -out $(BENCHOUT)
 
 # Ten-second fuzz passes over the three untrusted-input parsers:
 # market page scraping, dumpsys battery output, and PLT trace files.

@@ -6,9 +6,12 @@
 //
 //	privacyeval [-exp all|fig2|fig3|fig4|fig5|ablation] [-quick]
 //	            [-users N] [-days N] [-seed N] [-workers N]
+//	            [-cpuprofile f] [-memprofile f]
 //
 // The default is the paper-scale configuration (182 users, 14 days),
-// which takes a few minutes; -quick runs a reduced world.
+// which takes a few minutes; -quick runs a reduced world. The pprof
+// flags capture profiles of whatever experiment selection runs;
+// profiles are written on clean completion only.
 package main
 
 import (
@@ -16,6 +19,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -40,7 +45,41 @@ func main() {
 	days := flag.Int("days", 0, "override simulated days")
 	seed := flag.Int64("seed", 0, "override world seed")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("cpu profile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpu profile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				log.Fatalf("close cpu profile: %v", err)
+			}
+		}()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatalf("heap profile: %v", err)
+		}
+		runtime.GC() // settle allocations so the profile shows live heap
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatalf("heap profile: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("close heap profile: %v", err)
+		}
+	}()
 
 	cfg := experiments.Default()
 	if *quick {
@@ -61,7 +100,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer lab.Close()
+	ran := false
 	run := func(name string, fn func() (interface{ Render() string }, error)) {
+		ran = true
 		start := time.Now()
 		r, err := fn()
 		if err != nil {
@@ -120,5 +162,8 @@ func main() {
 		run("Ablation: time to confusion", func() (interface{ Render() string }, error) {
 			return experiments.AblationTracking(lab)
 		})
+	}
+	if !ran {
+		log.Fatalf("unknown -exp %q (want all, fig2, fig3, fig4, fig5, combined, ablation)", *exp)
 	}
 }

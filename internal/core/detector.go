@@ -74,14 +74,17 @@ func (d *Detector) Check() (Detection, error) {
 	return det, nil
 }
 
-// checkStridePoints bounds how many points may pass between breach
+// CheckStridePoints bounds how many points may pass between breach
 // checks: pattern 1's histogram changes on every fix, so the detector
-// re-tests periodically even when no new visit completes.
-const checkStridePoints = 500
+// re-tests periodically even when no new visit completes. Exported so
+// external drivers that multiplex several detectors over one stream
+// (experiments.firstBreaches) can replicate FirstBreach's cadence
+// exactly.
+const CheckStridePoints = 500
 
 // FirstBreach streams src into the detector until the first breach,
 // checking after every newly completed visit and at least every
-// checkStridePoints fixes (pattern 1 evolves point by point). It
+// CheckStridePoints fixes (pattern 1 evolves point by point). It
 // returns the detection state at the moment of the breach, or the
 // final state with Breached == false if the stream ends first.
 func (d *Detector) FirstBreach(src trace.Source) (Detection, error) {
@@ -100,7 +103,7 @@ func (d *Detector) FirstBreach(src trace.Source) (Detection, error) {
 		}
 		sinceCheck++
 		newVisit := d.builder.profile.NumVisits() != lastVisits
-		if !newVisit && sinceCheck < checkStridePoints {
+		if !newVisit && sinceCheck < CheckStridePoints {
 			continue
 		}
 		lastVisits = d.builder.profile.NumVisits()

@@ -243,6 +243,7 @@ func AblationWeighting(l *Lab) (*AblationWeightingResult, error) {
 			return nil, err
 		}
 		f5, err := Figure5(sub)
+		sub.Close()
 		if err != nil {
 			return nil, err
 		}
@@ -294,9 +295,11 @@ func AblationTail(l *Lab) (*AblationTailResult, error) {
 		}
 		profiles, err := sub.Profiles()
 		if err != nil {
+			sub.Close()
 			return nil, err
 		}
 		outcomes, err := sub.detectAll(profiles, 0, nil)
+		sub.Close()
 		if err != nil {
 			return nil, err
 		}

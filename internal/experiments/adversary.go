@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"locwatch/internal/core"
-	"locwatch/internal/trace"
 )
 
 // Figure5Row is one interval of the entropy / degree-of-anonymity
@@ -49,7 +48,6 @@ func Figure5(l *Lab) (*Figure5Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	cut := l.splitCut()
 
 	res := &Figure5Result{Profiles: adv.NumProfiles()}
 	for _, iv := range l.cfg.Intervals {
@@ -58,17 +56,16 @@ func Figure5(l *Lab) (*Figure5Result, error) {
 			MeanDeg:    map[core.Pattern]float64{},
 			Identified: map[core.Pattern]int{},
 		}
+		// Collected (post-split) profiles are cached per interval on the
+		// lab, so reruns of the attack share one profile-building pass.
+		collectedAll, err := l.collectedAt(iv)
+		if err != nil {
+			return nil, err
+		}
 		var mu sync.Mutex
 		sums := map[core.Pattern]float64{}
-		err := l.forEachUser(func(id int) error {
-			src, err := l.world.Trace(id, iv)
-			if err != nil {
-				return err
-			}
-			collected, err := core.BuildProfile(trace.NewTimeWindow(src, cut, time.Time{}), l.cfg.Mobility.CityCenter, l.cfg.Core)
-			if err != nil {
-				return err
-			}
+		err = l.forEachUser(func(id int) error {
+			collected := collectedAll[id]
 			deg := map[core.Pattern]float64{}
 			ident := map[core.Pattern]bool{}
 			for _, pattern := range patterns {

@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"strings"
 	"sync"
@@ -11,6 +13,14 @@ import (
 	"locwatch/internal/stats"
 	"locwatch/internal/trace"
 )
+
+// detectKey identifies one memoized detectAll sweep. The 4(b) phase
+// offsets are derived deterministically from the world seed, so
+// whether phases were applied (not their values) completes the key.
+type detectKey struct {
+	interval time.Duration
+	phased   bool
+}
 
 // DetectionOutcome is one user × pattern detection result.
 type DetectionOutcome struct {
@@ -129,8 +139,19 @@ func Figure4(l *Lab) (*Figure4Result, error) {
 }
 
 // detectAll runs FirstBreach for every user under both patterns at the
-// given interval and phase offsets (nil = from the start).
+// given interval and phase offsets (nil = from the start). Results are
+// memoized on the Lab: the inputs are fully determined by the lab
+// configuration (the 4(b) phases are seeded from the world seed), so a
+// driver rerun on the same lab replays nothing.
 func (l *Lab) detectAll(profiles []*core.Profile, interval time.Duration, phases []time.Duration) ([]DetectionOutcome, error) {
+	key := detectKey{interval: interval, phased: phases != nil}
+	l.mu.Lock()
+	if out, ok := l.detections[key]; ok {
+		l.mu.Unlock()
+		return out, nil
+	}
+	l.mu.Unlock()
+
 	totals, err := l.pointTotals(interval)
 	if err != nil {
 		return nil, err
@@ -141,8 +162,10 @@ func (l *Lab) detectAll(profiles []*core.Profile, interval time.Duration, phases
 		denom := totals[id]
 		if phases != nil {
 			// The collectable stream starts mid-trace; its size is the
-			// right denominator for "fraction of data consumed".
-			src, err := l.world.Trace(id, interval)
+			// right denominator for "fraction of data consumed". The
+			// sampler filters on timestamps alone, so the cheap
+			// timestamps-only stream yields the exact count.
+			src, err := l.world.TraceTimes(id, interval)
 			if err != nil {
 				return err
 			}
@@ -151,26 +174,22 @@ func (l *Lab) detectAll(profiles []*core.Profile, interval time.Duration, phases
 				return err
 			}
 		}
-		for _, pattern := range patterns {
+		src, err := l.world.Trace(id, interval)
+		if err != nil {
+			return err
+		}
+		if phases != nil {
+			src = trace.NewSampler(src, 0, phases[id])
+		}
+		dets, err := firstBreaches(profiles[id], src)
+		if err != nil {
+			return err
+		}
+		for i, pattern := range patterns {
 			o := DetectionOutcome{User: id, Pattern: pattern, Fraction: 1}
-			det, err := core.NewDetector(profiles[id], pattern)
-			if err != nil {
-				return err
-			}
-			src, err := l.world.Trace(id, interval)
-			if err != nil {
-				return err
-			}
-			if phases != nil {
-				src = trace.NewSampler(src, 0, phases[id])
-			}
-			d, err := det.FirstBreach(src)
-			if err != nil {
-				return err
-			}
-			if d.Breached && denom > 0 {
+			if dets[i].Breached && denom > 0 {
 				o.Detected = true
-				o.Fraction = float64(d.PointsFed) / float64(denom)
+				o.Fraction = float64(dets[i].PointsFed) / float64(denom)
 				if o.Fraction > 1 {
 					o.Fraction = 1
 				}
@@ -183,6 +202,81 @@ func (l *Lab) detectAll(profiles []*core.Profile, interval time.Duration, phases
 	})
 	if err != nil {
 		return nil, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if prev, ok := l.detections[key]; ok {
+		return prev, nil
+	}
+	l.detections[key] = out
+	return out, nil
+}
+
+// firstBreaches runs one detector per pattern over a single replay of
+// src, equivalent to independent FirstBreach runs per pattern (each
+// detector sees the same points in the same order and keeps its own
+// check cadence) while generating the trace once instead of once per
+// pattern.
+func firstBreaches(profile *core.Profile, src trace.Source) ([]core.Detection, error) {
+	type state struct {
+		det        *core.Detector
+		lastVisits int
+		sinceCheck int
+		done       bool
+		result     core.Detection
+	}
+	states := make([]*state, len(patterns))
+	for i, pattern := range patterns {
+		det, err := core.NewDetector(profile, pattern)
+		if err != nil {
+			return nil, err
+		}
+		states[i] = &state{det: det}
+	}
+	remaining := len(states)
+	for remaining > 0 {
+		pt, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range states {
+			if s.done {
+				continue
+			}
+			if err := s.det.Feed(pt); err != nil {
+				return nil, err
+			}
+			s.sinceCheck++
+			visits := s.det.Observed().NumVisits()
+			if visits == s.lastVisits && s.sinceCheck < core.CheckStridePoints {
+				continue
+			}
+			s.lastVisits = visits
+			s.sinceCheck = 0
+			d, err := s.det.Check()
+			if err != nil {
+				return nil, err
+			}
+			if d.Breached {
+				s.result = d
+				s.done = true
+				remaining--
+			}
+		}
+	}
+	out := make([]core.Detection, len(states))
+	for i, s := range states {
+		if !s.done {
+			d, err := s.det.Check()
+			if err != nil {
+				return nil, err
+			}
+			s.result = d
+		}
+		out[i] = s.result
 	}
 	return out, nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"locwatch/internal/core"
 	"locwatch/internal/mobility"
+	"locwatch/internal/trace"
 )
 
 // tinyConfig keeps unit-test runtimes low; TestEndToEnd* use Quick().
@@ -81,6 +82,104 @@ func TestLabCachesProfiles(t *testing.T) {
 	for i := range p1 {
 		if h1[i].NumPoints() >= p1[i].NumPoints() && p1[i].NumPoints() > 0 {
 			t.Fatalf("user %d: history has %d of %d points", i, h1[i].NumPoints(), p1[i].NumPoints())
+		}
+	}
+}
+
+func TestProfilesAtCachesPerInterval(t *testing.T) {
+	l := mustLab(t, tinyConfig())
+	// Profiles is the interval-0 view of the same cache.
+	p0, err := l.Profiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	at0, err := l.ProfilesAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &p0[0] != &at0[0] {
+		t.Fatal("Profiles and ProfilesAt(0) built separate slices")
+	}
+	iv := 10 * time.Minute
+	s1, err := l.ProfilesAt(iv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := l.ProfilesAt(iv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &s1[0] != &s2[0] {
+		t.Fatal("per-interval profiles rebuilt instead of cached")
+	}
+	if &s1[0] == &p0[0] {
+		t.Fatal("distinct intervals share one cache entry")
+	}
+	// Coarser sampling can only lose visits.
+	var fine, coarse int
+	for i := range p0 {
+		fine += p0[i].NumVisits()
+		coarse += s1[i].NumVisits()
+	}
+	if coarse > fine {
+		t.Fatalf("coarser sampling observed more visits (%d > %d)", coarse, fine)
+	}
+}
+
+func TestCollectedAtCachesPerInterval(t *testing.T) {
+	l := mustLab(t, tinyConfig())
+	c1, err := l.collectedAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := l.collectedAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &c1[0] != &c2[0] {
+		t.Fatal("collected profiles rebuilt instead of cached")
+	}
+	// The collection window is the period after the history split, so
+	// collected data is a strict subset of the full-period profile.
+	full, err := l.Profiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c1 {
+		if full[i].NumPoints() > 0 && c1[i].NumPoints() >= full[i].NumPoints() {
+			t.Fatalf("user %d: collected %d of %d points", i, c1[i].NumPoints(), full[i].NumPoints())
+		}
+	}
+}
+
+func TestLabCloseIdempotent(t *testing.T) {
+	l := mustLab(t, tinyConfig())
+	if _, err := l.Profiles(); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l.Close() // second close must not panic
+}
+
+func TestPointTotalsMatchFullTraceCounts(t *testing.T) {
+	l := mustLab(t, tinyConfig())
+	for _, iv := range l.cfg.Intervals {
+		totals, err := l.pointTotals(iv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := range totals {
+			src, err := l.World().Trace(id, iv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n, err := trace.Count(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if totals[id] != n {
+				t.Fatalf("user %d iv %v: timestamps-only total %d != full-trace count %d", id, iv, totals[id], n)
+			}
 		}
 	}
 }

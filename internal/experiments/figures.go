@@ -6,7 +6,6 @@ import (
 	"sync"
 	"time"
 
-	"locwatch/internal/core"
 	"locwatch/internal/market"
 	"locwatch/internal/poi"
 	"locwatch/internal/trace"
@@ -132,28 +131,20 @@ func Figure3(l *Lab, marketReport *market.Report) (*Figure3Result, error) {
 	res := &Figure3Result{}
 	for _, iv := range l.cfg.Intervals {
 		row := Figure3Row{Interval: iv}
-		var mu sync.Mutex
-		err := l.forEachUser(func(id int) error {
-			src, err := l.world.Trace(id, iv)
-			if err != nil {
-				return err
-			}
-			obs, err := core.BuildProfile(src, l.cfg.Mobility.CityCenter, l.cfg.Core)
-			if err != nil {
-				return err
-			}
-			mu.Lock()
-			defer mu.Unlock()
+		// The lab caches the per-interval observed profiles, so reruns
+		// and other experiments on the same sweep share the heavy
+		// profile-building pass; the aggregation below is cheap.
+		observed, err := l.ProfilesAt(iv)
+		if err != nil {
+			return nil, err
+		}
+		for id, obs := range observed {
 			row.PoIs += obs.NumVisits()
 			for t := 1; t <= 3; t++ {
 				total, disc := ground[id].SensitiveCoverage(obs, t)
 				row.SensitiveTotal[t-1] += total
 				row.SensitiveDiscovered[t-1] += disc
 			}
-			return nil
-		})
-		if err != nil {
-			return nil, err
 		}
 		res.Rows = append(res.Rows, row)
 	}

@@ -100,15 +100,19 @@ func (c Config) validate() error {
 type Lab struct {
 	cfg   Config
 	world *mobility.World
+	pool  *workerPool
 
-	mu       sync.Mutex
-	profiles []*core.Profile // full-period, native rate; nil until built
-	hist     []*core.Profile // training-window profiles for the adversary
-	totals   map[time.Duration][]int
+	mu         sync.Mutex
+	profiles   map[time.Duration][]*core.Profile // full-period profiles per access interval
+	hist       []*core.Profile                   // training-window profiles for the adversary
+	collected  map[time.Duration][]*core.Profile // post-split collected profiles per interval
+	totals     map[time.Duration][]int
+	detections map[detectKey][]DetectionOutcome
 }
 
 // NewLab builds the simulated world (cheap; traces are generated
-// lazily).
+// lazily) and starts the lab's worker pool. Call Close when done; a
+// finalizer covers labs that are dropped without closing.
 func NewLab(cfg Config) (*Lab, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -117,7 +121,24 @@ func NewLab(cfg Config) (*Lab, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Lab{cfg: cfg, world: w, totals: make(map[time.Duration][]int)}, nil
+	l := &Lab{
+		cfg:        cfg,
+		world:      w,
+		pool:       newWorkerPool(cfg.workers()),
+		profiles:   make(map[time.Duration][]*core.Profile),
+		collected:  make(map[time.Duration][]*core.Profile),
+		totals:     make(map[time.Duration][]int),
+		detections: make(map[detectKey][]DetectionOutcome),
+	}
+	runtime.SetFinalizer(l, (*Lab).Close)
+	return l, nil
+}
+
+// Close stops the lab's worker pool. Safe to call more than once;
+// experiments must not be run after Close.
+func (l *Lab) Close() {
+	runtime.SetFinalizer(l, nil)
+	l.pool.close()
 }
 
 // Config returns the lab configuration.
@@ -133,26 +154,54 @@ func (l *Lab) splitCut() time.Time {
 	return l.cfg.Mobility.Start.Add(time.Duration(days * 24 * float64(time.Hour)))
 }
 
-// forEachUser fans fn out over all users with bounded workers and
-// returns the first error.
-func (l *Lab) forEachUser(fn func(id int) error) error {
-	n := l.world.NumUsers()
-	errs := make([]error, n)
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < l.cfg.workers(); w++ {
-		wg.Add(1)
+// workerPool is a fixed set of goroutines owned by a Lab for the
+// lifetime of the Lab: experiments submit closures instead of paying
+// goroutine spawn-and-teardown on every fan-out.
+type workerPool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+	once  sync.Once
+}
+
+func newWorkerPool(n int) *workerPool {
+	p := &workerPool{tasks: make(chan func())}
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
 		go func() {
-			defer wg.Done()
-			for id := range jobs {
-				errs[id] = fn(id)
+			defer p.wg.Done()
+			for task := range p.tasks {
+				task()
 			}
 		}()
 	}
+	return p
+}
+
+func (p *workerPool) submit(task func()) { p.tasks <- task }
+
+// close stops the workers after draining queued tasks. Idempotent.
+func (p *workerPool) close() {
+	p.once.Do(func() {
+		close(p.tasks)
+		p.wg.Wait()
+	})
+}
+
+// forEachUser fans fn out over all users on the lab's worker pool and
+// returns the joined errors. fn must not call forEachUser itself: a
+// nested fan-out would wait on the pool from inside the pool.
+func (l *Lab) forEachUser(fn func(id int) error) error {
+	n := l.world.NumUsers()
+	errs := make([]error, n)
+	var wg sync.WaitGroup
 	for id := 0; id < n; id++ {
-		jobs <- id
+		id := id
+		wg.Add(1)
+		l.pool.submit(func() {
+			defer wg.Done()
+			errs[id] = fn(id)
+		})
 	}
-	close(jobs)
 	wg.Wait()
 	return errors.Join(errs...)
 }
@@ -160,16 +209,24 @@ func (l *Lab) forEachUser(fn func(id int) error) error {
 // Profiles returns the per-user ground-truth profiles (full period,
 // native rate), building them on first use.
 func (l *Lab) Profiles() ([]*core.Profile, error) {
+	return l.ProfilesAt(0)
+}
+
+// ProfilesAt returns the per-user full-period profiles as observed at
+// the given access interval, building and caching them on first use.
+// Interval 0 is the ground truth Profiles returns; the other sweep
+// points are what Figures 3–4 repeatedly consume.
+func (l *Lab) ProfilesAt(interval time.Duration) ([]*core.Profile, error) {
 	l.mu.Lock()
-	if l.profiles != nil {
-		defer l.mu.Unlock()
-		return l.profiles, nil
+	if p, ok := l.profiles[interval]; ok {
+		l.mu.Unlock()
+		return p, nil
 	}
 	l.mu.Unlock()
 
 	profiles := make([]*core.Profile, l.world.NumUsers())
 	err := l.forEachUser(func(id int) error {
-		src, err := l.world.Trace(id, 0)
+		src, err := l.world.Trace(id, interval)
 		if err != nil {
 			return err
 		}
@@ -185,10 +242,10 @@ func (l *Lab) Profiles() ([]*core.Profile, error) {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.profiles == nil {
-		l.profiles = profiles
+	if _, ok := l.profiles[interval]; !ok {
+		l.profiles[interval] = profiles
 	}
-	return l.profiles, nil
+	return l.profiles[interval], nil
 }
 
 // HistoricalProfiles returns the adversary's training-window profiles.
@@ -225,8 +282,47 @@ func (l *Lab) HistoricalProfiles() ([]*core.Profile, error) {
 	return l.hist, nil
 }
 
+// collectedAt returns the per-user profiles built from what an app
+// collecting at the given interval obtains after the history split —
+// the adversary's observation in Figure 5. Cached per interval.
+func (l *Lab) collectedAt(interval time.Duration) ([]*core.Profile, error) {
+	l.mu.Lock()
+	if p, ok := l.collected[interval]; ok {
+		l.mu.Unlock()
+		return p, nil
+	}
+	l.mu.Unlock()
+
+	cut := l.splitCut()
+	collected := make([]*core.Profile, l.world.NumUsers())
+	err := l.forEachUser(func(id int) error {
+		src, err := l.world.Trace(id, interval)
+		if err != nil {
+			return err
+		}
+		p, err := core.BuildProfile(trace.NewTimeWindow(src, cut, time.Time{}), l.cfg.Mobility.CityCenter, l.cfg.Core)
+		if err != nil {
+			return fmt.Errorf("user %d: %w", id, err)
+		}
+		collected[id] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.collected[interval]; !ok {
+		l.collected[interval] = collected
+	}
+	return l.collected[interval], nil
+}
+
 // pointTotals returns, per user, the number of fixes an app collecting
-// at the given interval would obtain over the full period. Cached.
+// at the given interval would obtain over the full period. Counting
+// uses the timestamps-only stream: emission timing never depends on
+// geometry or noise, so the counts match Trace exactly without paying
+// for interpolation. Cached.
 func (l *Lab) pointTotals(interval time.Duration) ([]int, error) {
 	l.mu.Lock()
 	if t, ok := l.totals[interval]; ok {
@@ -237,7 +333,7 @@ func (l *Lab) pointTotals(interval time.Duration) ([]int, error) {
 
 	totals := make([]int, l.world.NumUsers())
 	err := l.forEachUser(func(id int) error {
-		src, err := l.world.Trace(id, interval)
+		src, err := l.world.TraceTimes(id, interval)
 		if err != nil {
 			return err
 		}

@@ -63,6 +63,20 @@ func Distance(p, q LatLon) float64 {
 	return 2 * EarthRadius * math.Asin(math.Sqrt(h))
 }
 
+// LocalDistance returns the distance in meters between two nearby
+// points using the equirectangular approximation at their mean
+// latitude. For the sub-kilometer separations hot paths compare
+// against meter-scale thresholds (the PoI extractors), it agrees with
+// Distance to well under a centimeter at city latitudes — but the two
+// are not interchangeable bit for bit, and LocalDistance degrades at
+// continental separations where Distance stays exact.
+func LocalDistance(p, q LatLon) float64 {
+	mean := (p.Lat + q.Lat) / 2 * degToRad
+	dLat := (q.Lat - p.Lat) * degToRad
+	dLon := (q.Lon - p.Lon) * degToRad * math.Cos(mean)
+	return EarthRadius * math.Sqrt(dLat*dLat+dLon*dLon)
+}
+
 // Bearing returns the initial great-circle bearing from p to q in
 // degrees clockwise from true north, in [0, 360).
 func Bearing(p, q LatLon) float64 {
@@ -300,6 +314,20 @@ func (pr *Projection) FromXY(x, y float64) LatLon {
 	return LatLon{
 		Lat: pr.origin.Lat + y/EarthRadius*radToDeg,
 		Lon: pr.origin.Lon + x/(EarthRadius*pr.cosLat0)*radToDeg,
+	}
+}
+
+// Offset displaces p by (east, north) meters in the projection's
+// tangent plane. It is the planar fast path for the small displacements
+// hot loops apply per point (GPS noise, grid snapping): one add per
+// axis instead of the sincos/asin/atan2 chain of Destination. For
+// offsets up to a few hundred meters applied within a few tens of
+// kilometers of the origin, the result agrees with the spherical
+// Destination form to well under a meter (asserted in the tests).
+func (pr *Projection) Offset(p LatLon, east, north float64) LatLon {
+	return LatLon{
+		Lat: p.Lat + north/EarthRadius*radToDeg,
+		Lon: p.Lon + east/(EarthRadius*pr.cosLat0)*radToDeg,
 	}
 }
 

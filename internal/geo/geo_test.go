@@ -269,6 +269,63 @@ func TestProjectionPlanarDistanceAgreesWithHaversine(t *testing.T) {
 	}
 }
 
+// TestProjectionOffsetAgreesWithDestination bounds the planar Offset
+// fast path against the spherical Destination form: under a meter for
+// offsets up to 500 m anywhere within 10 km of the projection origin —
+// the regime the mobility noise hot path operates in (CityRadius
+// ≤ 10 km, offsets a few sigma of GPS noise).
+func TestProjectionOffsetAgreesWithDestination(t *testing.T) {
+	pr := NewProjection(beijing)
+	rng := rand.New(rand.NewSource(7))
+	worst := 0.0
+	for i := 0; i < 500; i++ {
+		p := randomNearbyPoint(rng, beijing, 10000)
+		bearing := rng.Float64() * 360
+		dist := rng.Float64() * 500
+		sph := Destination(p, bearing, dist)
+		sin, cos := math.Sincos(bearing * degToRad)
+		pln := pr.Offset(p, dist*sin, dist*cos)
+		if d := Distance(sph, pln); d > worst {
+			worst = d
+		}
+	}
+	if worst >= 1 {
+		t.Fatalf("Offset deviates %.3f m from Destination (bound: 1 m)", worst)
+	}
+	// Zero offset is exact.
+	p := LatLon{Lat: 39.95, Lon: 116.41}
+	if q := pr.Offset(p, 0, 0); q != p {
+		t.Fatalf("zero offset moved the point: %v", q)
+	}
+}
+
+// TestLocalDistanceAgreesWithDistance bounds the equirectangular
+// LocalDistance against the haversine Distance over the separations
+// the PoI extractors compare against their radius thresholds: under a
+// centimeter for points up to 1 km apart at city latitudes.
+func TestLocalDistanceAgreesWithDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	worst := 0.0
+	for i := 0; i < 1000; i++ {
+		p := randomNearbyPoint(rng, beijing, 10000)
+		q := randomNearbyPoint(rng, p, 1000)
+		if d := math.Abs(LocalDistance(p, q) - Distance(p, q)); d > worst {
+			worst = d
+		}
+	}
+	if worst >= 0.01 {
+		t.Fatalf("LocalDistance deviates %.6f m from Distance (bound: 1 cm)", worst)
+	}
+	if d := LocalDistance(beijing, beijing); d != 0 {
+		t.Fatalf("distance to self = %v", d)
+	}
+	// Symmetry.
+	p := LatLon{Lat: 39.95, Lon: 116.41}
+	if LocalDistance(beijing, p) != LocalDistance(p, beijing) {
+		t.Fatal("LocalDistance not symmetric")
+	}
+}
+
 func TestTruncate(t *testing.T) {
 	p := LatLon{39.123456789, 116.987654321}
 	tests := []struct {

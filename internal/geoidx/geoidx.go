@@ -14,6 +14,7 @@ package geoidx
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"locwatch/internal/geo"
 )
@@ -121,6 +122,14 @@ func (ix *Index) Within(p geo.LatLon, radius float64) []Entry {
 // containing p — the paper's pattern-1 "region". Cells are squares of
 // the index cell size.
 func (ix *Index) RegionID(p geo.LatLon) string {
+	// Built by hand rather than with fmt: this runs once per fix on the
+	// detection hot path, and the output is identical to the historical
+	// Sprintf("r%d:%d", …) form.
 	k := ix.key(p)
-	return fmt.Sprintf("r%d:%d", k.X, k.Y)
+	buf := make([]byte, 0, 24)
+	buf = append(buf, 'r')
+	buf = strconv.AppendInt(buf, int64(k.X), 10)
+	buf = append(buf, ':')
+	buf = strconv.AppendInt(buf, int64(k.Y), 10)
+	return string(buf)
 }

@@ -1,0 +1,324 @@
+package mobility
+
+import (
+	"errors"
+	"io"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"locwatch/internal/geo"
+	"locwatch/internal/trace"
+)
+
+// refSource replicates the pre-optimization trace generator: it
+// rebuilds the day's legs on every advance (no plan cache) and rescans
+// each travel leg's cumulative lengths from the first segment for
+// every fix (no cursor). Noise is drawn and applied exactly as in the
+// production path, so any divergence from userSource isolates the
+// cache and the cursor.
+type refSource struct {
+	w        *World
+	u        *User
+	interval time.Duration
+	noise    rand64
+
+	day    int
+	legs   []leg
+	legIdx int
+	t      time.Time
+	inited bool
+
+	// sphericalNoise applies the offset with geo.Destination instead of
+	// the planar projection, for the error-bound test.
+	sphericalNoise bool
+}
+
+// rand64 is the minimal *rand.Rand surface the reference needs; using
+// an interface here keeps the reference honest about which draws it
+// consumes.
+type rand64 interface {
+	Float64() float64
+	NormFloat64() float64
+}
+
+func newRefSource(w *World, userID int, interval time.Duration, spherical bool) (*refSource, error) {
+	src, err := w.newSource(userID, interval, false)
+	if err != nil {
+		return nil, err
+	}
+	return &refSource{
+		w:              w,
+		u:              src.u,
+		interval:       src.interval,
+		noise:          src.noise,
+		sphericalNoise: spherical,
+	}, nil
+}
+
+func (s *refSource) Next() (trace.Point, error) {
+	for {
+		if !s.inited || s.legIdx >= len(s.legs) {
+			if !s.advanceDay() {
+				return trace.Point{}, io.EOF
+			}
+			continue
+		}
+		l := &s.legs[s.legIdx]
+		if s.t.Before(l.start) {
+			s.t = l.start
+		}
+		if s.t.After(l.end) {
+			s.legIdx++
+			continue
+		}
+		if !l.recorded {
+			s.legIdx++
+			continue
+		}
+		if !l.recFrom.IsZero() && s.t.Before(l.recFrom) {
+			s.t = l.recFrom
+		}
+		if !l.recTo.IsZero() && s.t.After(l.recTo) {
+			s.legIdx++
+			continue
+		}
+		pos := l.posAt(s.t) // linear rescan, no cursor
+		if sigma := s.w.cfg.NoiseSigma; sigma > 0 {
+			if s.sphericalNoise {
+				// The pre-PR spherical form: same draws, same order.
+				brng := s.noise.Float64() * 360
+				pos = geo.Destination(pos, brng, gaussAbsRef(s.noise, sigma))
+			} else {
+				east, north := noiseOffsetRef(s.noise, sigma)
+				pos = s.w.proj.Offset(pos, east, north)
+			}
+		}
+		p := trace.Point{Pos: pos, T: s.t}
+		s.t = s.t.Add(s.interval)
+		return p, nil
+	}
+}
+
+func (s *refSource) advanceDay() bool {
+	if s.inited {
+		s.day++
+	}
+	s.inited = true
+	for ; s.day < s.w.cfg.Days; s.day++ {
+		legs := s.w.buildDayLegs(s.u, s.day) // bypass the plan cache
+		if len(legs) == 0 {
+			continue
+		}
+		s.legs = legs
+		s.legIdx = 0
+		s.t = legs[0].start
+		return true
+	}
+	return false
+}
+
+func noiseOffsetRef(rng rand64, sigma float64) (east, north float64) {
+	sin, cos := math.Sincos(rng.Float64() * 2 * math.Pi)
+	r := gaussAbsRef(rng, sigma)
+	return r * sin, r * cos
+}
+
+func gaussAbsRef(rng rand64, sigma float64) float64 {
+	v := rng.NormFloat64() * sigma
+	if v < 0 {
+		v = -v
+	}
+	return v
+}
+
+// goldenIntervals is the reduced sweep the determinism tests replay.
+func goldenIntervals() []time.Duration {
+	return []time.Duration{0, 30 * time.Second, 10 * time.Minute}
+}
+
+// TestFastPathGolden asserts the production generator (plan cache +
+// segment cursor) emits byte-identical point streams to the uncached
+// rescanning reference, for every user at every swept interval.
+func TestFastPathGolden(t *testing.T) {
+	w := mustWorld(t, testConfig())
+	for id := 0; id < w.NumUsers(); id++ {
+		for _, iv := range goldenIntervals() {
+			fast, err := w.Trace(id, iv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := newRefSource(w, id, iv, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := 0
+			for {
+				pf, errF := fast.Next()
+				pr, errR := ref.Next()
+				if errors.Is(errF, io.EOF) != errors.Is(errR, io.EOF) {
+					t.Fatalf("user %d iv %v: stream lengths diverge at %d (%v vs %v)", id, iv, n, errF, errR)
+				}
+				if errF != nil {
+					break
+				}
+				if pf != pr {
+					t.Fatalf("user %d iv %v point %d: fast %v != ref %v", id, iv, n, pf, pr)
+				}
+				n++
+			}
+			if n == 0 {
+				t.Fatalf("user %d iv %v: empty stream proves nothing", id, iv)
+			}
+		}
+	}
+}
+
+// TestFastPathNoiseErrorBound asserts the planar noise fast path stays
+// within a meter of the spherical geo.Destination form over whole
+// traces at the default city scale (CityRadius 10 km).
+func TestFastPathNoiseErrorBound(t *testing.T) {
+	cfg := testConfig()
+	cfg.NoiseSigma = 25 // 5x the default, to stress larger offsets
+	w := mustWorld(t, cfg)
+	worst := 0.0
+	for id := 0; id < w.NumUsers(); id++ {
+		fast, err := w.Trace(id, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := newRefSource(w, id, 0, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			pf, errF := fast.Next()
+			pr, errR := ref.Next()
+			if errors.Is(errF, io.EOF) != errors.Is(errR, io.EOF) {
+				t.Fatalf("user %d: planar noise changed the stream length (%v vs %v)", id, errF, errR)
+			}
+			if errF != nil {
+				break
+			}
+			if !pf.T.Equal(pr.T) {
+				t.Fatalf("user %d: planar noise shifted a timestamp: %v vs %v", id, pf.T, pr.T)
+			}
+			if d := geo.Distance(pf.Pos, pr.Pos); d > worst {
+				worst = d
+			}
+		}
+	}
+	if worst >= 1 {
+		t.Fatalf("planar noise deviates %.3f m from the spherical form (bound: 1 m)", worst)
+	}
+	if worst == 0 {
+		t.Fatal("zero deviation is implausible; the reference likely ran the fast path")
+	}
+}
+
+// TestTraceTimesMatchesTrace asserts the timestamps-only counting
+// stream is length- and time-identical to the full stream, with zero
+// positions, across users and intervals.
+func TestTraceTimesMatchesTrace(t *testing.T) {
+	w := mustWorld(t, testConfig())
+	for id := 0; id < w.NumUsers(); id++ {
+		for _, iv := range goldenIntervals() {
+			full, err := w.Trace(id, iv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			times, err := w.TraceTimes(id, iv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for {
+				pf, errF := full.Next()
+				pt, errT := times.Next()
+				if errors.Is(errF, io.EOF) != errors.Is(errT, io.EOF) {
+					t.Fatalf("user %d iv %v: lengths diverge (%v vs %v)", id, iv, errF, errT)
+				}
+				if errF != nil {
+					break
+				}
+				if !pt.T.Equal(pf.T) {
+					t.Fatalf("user %d iv %v: timestamp %v != %v", id, iv, pt.T, pf.T)
+				}
+				if !pt.Pos.IsZero() {
+					t.Fatalf("user %d iv %v: TraceTimes emitted a position %v", id, iv, pt.Pos)
+				}
+			}
+		}
+	}
+	if _, err := w.TraceTimes(w.NumUsers(), 0); err == nil {
+		t.Fatal("TraceTimes of missing user should error")
+	}
+}
+
+// TestConcurrentTracesShareOnePlanCache hammers the lazy plan cache
+// from many goroutines (run under -race by make race / CI) and checks
+// every stream sees the same point count as a serial pass.
+func TestConcurrentTracesShareOnePlanCache(t *testing.T) {
+	w := mustWorld(t, testConfig())
+	intervals := []time.Duration{0, time.Minute}
+	want := map[int]map[time.Duration]int{}
+	for id := 0; id < w.NumUsers(); id++ {
+		want[id] = map[time.Duration]int{}
+		for _, iv := range intervals {
+			src, err := w.Trace(id, iv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n, err := trace.Count(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[id][iv] = n
+		}
+	}
+
+	// A fresh world, so the goroutines race on a cold cache.
+	w2 := mustWorld(t, testConfig())
+	var wg sync.WaitGroup
+	for rep := 0; rep < 2; rep++ {
+		for id := 0; id < w2.NumUsers(); id++ {
+			for _, iv := range intervals {
+				wg.Add(1)
+				go func(id int, iv time.Duration) {
+					defer wg.Done()
+					src, err := w2.Trace(id, iv)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					n, err := trace.Count(src)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if n != want[id][iv] {
+						t.Errorf("user %d iv %v: concurrent count %d != serial %d", id, iv, n, want[id][iv])
+					}
+				}(id, iv)
+			}
+		}
+	}
+	wg.Wait()
+}
+
+// BenchmarkTraceGenerationCold measures trace generation against a
+// cold plan cache (a fresh world per iteration): the pre-cache cost.
+func BenchmarkTraceGenerationCold(b *testing.B) {
+	cfg := testConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := mustWorld(b, cfg)
+		src, err := w.Trace(0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := trace.Count(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -42,8 +42,27 @@ const tripTrim = 2 * time.Minute
 
 func (l *leg) duration() time.Duration { return l.end.Sub(l.start) }
 
-// posAt returns the noiseless position at time t within the leg.
+// posAt returns the noiseless position at time t within the leg. It
+// rescans cum from the first segment, which is O(len(path)) per call;
+// streaming consumers use posAtFrom with a monotone cursor instead.
+// posAt is kept as the reference implementation the golden determinism
+// test compares the fast path against.
 func (l *leg) posAt(t time.Time) geo.LatLon {
+	seg := 1
+	return l.posAtFrom(t, &seg)
+}
+
+// posAtFrom is posAt with a segment cursor: the scan for the segment
+// containing t starts at *seg instead of the leg's first segment, and
+// *seg is updated to the segment found. Because the emission time of a
+// streaming source only advances within a leg, the cursor makes
+// per-fix interpolation O(1) amortized over the leg, and — since the
+// target arc length is non-decreasing — the segment found, and hence
+// the returned position, is bit-identical to posAt's. Interpolation
+// within the segment is already planar (geo.Interpolate is linear in
+// lat/lon), so no spherical math runs per fix. Callers must reset
+// *seg to 1 when switching legs.
+func (l *leg) posAtFrom(t time.Time, seg *int) geo.LatLon {
 	if l.kind == stayLeg {
 		return l.venue.Pos
 	}
@@ -59,8 +78,13 @@ func (l *leg) posAt(t time.Time) geo.LatLon {
 		return l.path[len(l.path)-1]
 	}
 	target := frac * l.cum[len(l.cum)-1]
-	for i := 1; i < len(l.cum); i++ {
+	i := *seg
+	if i < 1 {
+		i = 1
+	}
+	for ; i < len(l.cum); i++ {
 		if target <= l.cum[i] {
+			*seg = i
 			segLen := l.cum[i] - l.cum[i-1]
 			if segLen <= 0 {
 				return l.path[i]
@@ -82,9 +106,23 @@ type itinerary struct {
 	pos  geo.LatLon
 }
 
-// dayLegs builds the itinerary of the given simulated day. It is
-// deterministic in (user seed, day). An unrecorded day returns nil.
+// dayLegs returns the itinerary of the given simulated day, building
+// it on first use and serving the immutable cached plan afterwards.
+// Every trace source over the same (user, day) — one per interval per
+// experiment — shares the one plan, so routing, RNG draws, and
+// cumulative path lengths are paid once per World instead of once per
+// stream. Safe for concurrent callers.
 func (w *World) dayLegs(u *User, day int) []leg {
+	p := &w.plans[u.ID][day]
+	p.once.Do(func() { p.legs = w.buildDayLegs(u, day) })
+	return p.legs
+}
+
+// buildDayLegs builds the itinerary of the given simulated day. It is
+// deterministic in (user seed, day). An unrecorded day returns nil.
+// The seeding must stay u.seed*31 + day*101 + 17: per-user RNG stream
+// alignment is an output-compatibility invariant (DESIGN.md §7).
+func (w *World) buildDayLegs(u *User, day int) []leg {
 	rng := rand.New(rand.NewSource(u.seed*31 + int64(day)*101 + 17))
 	if rng.Float64() >= u.recordProb {
 		return nil // device off today

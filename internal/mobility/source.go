@@ -3,15 +3,17 @@ package mobility
 import (
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"time"
 
-	"locwatch/internal/geo"
 	"locwatch/internal/trace"
 )
 
-// userSource streams one user's GPS fixes over the simulation period,
-// building each day's itinerary lazily so memory stays O(one day).
+// userSource streams one user's GPS fixes over the simulation period.
+// Day plans come from the World's shared memoized cache, so a source
+// holds no per-day build state of its own; the per-source state is the
+// emission clock, the leg/segment cursors, and the noise RNG.
 type userSource struct {
 	w        *World
 	u        *User
@@ -21,8 +23,14 @@ type userSource struct {
 	day    int
 	legs   []leg
 	legIdx int
+	seg    int // posAtFrom cursor into the current travel leg
 	t      time.Time
 	inited bool
+
+	// timesOnly skips geometry and noise: the source emits the exact
+	// timestamp sequence of the full stream with zero positions, which
+	// is all counting consumers need.
+	timesOnly bool
 }
 
 // Trace returns a streaming full-period GPS source for the user.
@@ -35,6 +43,20 @@ type userSource struct {
 // wrapping the native stream in trace.NewSampler(src, i, 0) up to
 // sub-interval phase.
 func (w *World) Trace(userID int, interval time.Duration) (trace.Source, error) {
+	return w.newSource(userID, interval, false)
+}
+
+// TraceTimes returns a source yielding exactly the timestamps of
+// Trace(userID, interval) with zero positions. Emission timing depends
+// only on the leg plan and the interval — never on noise draws or
+// interpolation — so the stream has bit-identical length and
+// timestamps at a fraction of the cost; use it to count collectable
+// fixes (experiment denominators) without generating geometry.
+func (w *World) TraceTimes(userID int, interval time.Duration) (trace.Source, error) {
+	return w.newSource(userID, interval, true)
+}
+
+func (w *World) newSource(userID int, interval time.Duration, timesOnly bool) (*userSource, error) {
 	u, err := w.User(userID)
 	if err != nil {
 		return nil, err
@@ -43,12 +65,16 @@ func (w *World) Trace(userID int, interval time.Duration) (trace.Source, error) 
 	if interval > eff {
 		eff = interval
 	}
-	return &userSource{
-		w:        w,
-		u:        u,
-		interval: eff,
-		noise:    rand.New(rand.NewSource(u.seed*131 + int64(interval/time.Millisecond)%9973 + 7)),
-	}, nil
+	s := &userSource{
+		w:         w,
+		u:         u,
+		interval:  eff,
+		timesOnly: timesOnly,
+	}
+	if !timesOnly {
+		s.noise = rand.New(rand.NewSource(u.seed*131 + int64(interval/time.Millisecond)%9973 + 7))
+	}
+	return s, nil
 }
 
 var _ trace.Source = (*userSource)(nil)
@@ -67,31 +93,43 @@ func (s *userSource) Next() (trace.Point, error) {
 			s.t = l.start
 		}
 		if s.t.After(l.end) {
-			s.legIdx++
+			s.nextLeg()
 			continue
 		}
 		if !l.recorded {
-			s.legIdx++
+			s.nextLeg()
 			continue
 		}
 		if !l.recFrom.IsZero() && s.t.Before(l.recFrom) {
 			s.t = l.recFrom
 		}
 		if !l.recTo.IsZero() && s.t.After(l.recTo) {
-			s.legIdx++
+			s.nextLeg()
 			continue
 		}
-		pos := l.posAt(s.t)
-		if sigma := s.w.cfg.NoiseSigma; sigma > 0 {
-			pos = geo.Destination(pos, s.noise.Float64()*360, gaussAbs(s.noise, sigma))
+		p := trace.Point{T: s.t}
+		if !s.timesOnly {
+			pos := l.posAtFrom(s.t, &s.seg)
+			if sigma := s.w.cfg.NoiseSigma; sigma > 0 {
+				east, north := noiseOffset(s.noise, sigma)
+				pos = s.w.proj.Offset(pos, east, north)
+			}
+			p.Pos = pos
 		}
-		p := trace.Point{Pos: pos, T: s.t}
 		s.t = s.t.Add(s.interval)
 		return p, nil
 	}
 }
 
-// advanceDay builds the next day's legs; false when the period ends.
+// nextLeg advances the leg cursor and resets the segment cursor, which
+// is only monotone within one leg.
+func (s *userSource) nextLeg() {
+	s.legIdx++
+	s.seg = 1
+}
+
+// advanceDay fetches the next day's cached legs; false when the period
+// ends.
 func (s *userSource) advanceDay() bool {
 	if s.inited {
 		s.day++
@@ -104,10 +142,24 @@ func (s *userSource) advanceDay() bool {
 		}
 		s.legs = legs
 		s.legIdx = 0
+		s.seg = 1
 		s.t = legs[0].start
 		return true
 	}
 	return false
+}
+
+// noiseOffset draws one fix's GPS error as a planar (east, north)
+// displacement: a uniform bearing and a |N(0, sigma)| radius, the same
+// two RNG draws in the same order as the spherical geo.Destination
+// form it replaces, so trace timing and every downstream seeded stream
+// stay aligned. Applying the displacement through the world's
+// city-anchored projection differs from the spherical form by well
+// under a meter at city scale (asserted in the tests).
+func noiseOffset(rng *rand.Rand, sigma float64) (east, north float64) {
+	sin, cos := math.Sincos(rng.Float64() * 2 * math.Pi)
+	r := gaussAbs(rng, sigma)
+	return r * sin, r * cos
 }
 
 // gaussAbs draws |N(0, sigma)| — radial GPS error magnitude.

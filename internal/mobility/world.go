@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"time"
 
 	"locwatch/internal/geo"
@@ -236,13 +237,26 @@ type User struct {
 // (1–5 s, as in GeoLife where ~91% of fixes are 1–5 s apart).
 func (u *User) BaseInterval() time.Duration { return u.baseInterval }
 
+// dayPlan lazily holds one user-day's immutable leg plan. The once
+// gate makes first-build exclusive while letting any number of
+// concurrent trace sources share the finished plan.
+type dayPlan struct {
+	once sync.Once
+	legs []leg
+}
+
 // World is a generated city and population. It is immutable after New
 // and safe for concurrent readers; per-user trace sources are created
-// on demand and owned by their consumer.
+// on demand and owned by their consumer. Day-leg plans are built
+// lazily and memoized per (user, day), so repeated trace generation —
+// the access pattern of every interval sweep — pays routing and RNG
+// work once.
 type World struct {
 	cfg    Config
 	venues []Venue
 	users  []*User
+	plans  [][]dayPlan     // [user][day] memoized leg plans
+	proj   *geo.Projection // city-anchored plane for per-fix noise offsets
 
 	campusCenter  geo.LatLon
 	campusDorms   []Venue
@@ -256,10 +270,14 @@ func New(cfg Config) (*World, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	w := &World{cfg: cfg}
+	w := &World{cfg: cfg, proj: geo.NewProjection(cfg.CityCenter)}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	w.genVenues(rng)
 	w.genUsers(rng)
+	w.plans = make([][]dayPlan, len(w.users))
+	for i := range w.plans {
+		w.plans[i] = make([]dayPlan, cfg.Days)
+	}
 	return w, nil
 }
 

@@ -205,7 +205,7 @@ func (e *Extractor) feedSearching(p trace.Point) {
 	if !ok {
 		return
 	}
-	if geo.Distance(older, newer) >= e.params.Radius {
+	if geo.LocalDistance(older, newer) >= e.params.Radius {
 		return
 	}
 	// The two half-window centroids coincide: the user has entered a
@@ -231,7 +231,7 @@ func (e *Extractor) feedInside(p trace.Point) {
 	if e.exit.len() < 2 {
 		return
 	}
-	if geo.Distance(e.poi.Value(), e.exit.centroid.Value()) <= e.params.Radius {
+	if geo.LocalDistance(e.poi.Value(), e.exit.centroid.Value()) <= e.params.Radius {
 		return
 	}
 	// The exit buffer has drifted away from the stay centroid: the user

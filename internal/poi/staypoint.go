@@ -55,7 +55,7 @@ func (e *StayPointExtractor) Feed(p trace.Point) error {
 		return nil
 	}
 	// Anchor is the first fix of the group, per the original algorithm.
-	if geo.Distance(e.group[0].Pos, p.Pos) <= e.params.Radius {
+	if geo.LocalDistance(e.group[0].Pos, p.Pos) <= e.params.Radius {
 		e.push(p)
 		return nil
 	}

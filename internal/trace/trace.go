@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"time"
 
@@ -75,13 +76,25 @@ func (tr *Trace) PathLength() float64 {
 	return total
 }
 
-// BoundingBox returns the tight bounding box of the trace.
+// BoundingBox returns the tight bounding box of the trace. The fold
+// runs over the points in place — no intermediate coordinate slice is
+// allocated, so it is safe to call on week-long full-rate traces.
 func (tr *Trace) BoundingBox() geo.BoundingBox {
-	pts := make([]geo.LatLon, len(tr.Points))
-	for i, p := range tr.Points {
-		pts[i] = p.Pos
+	if len(tr.Points) == 0 {
+		return geo.BoundingBox{}
 	}
-	return geo.NewBoundingBox(pts)
+	first := tr.Points[0].Pos
+	b := geo.BoundingBox{
+		MinLat: first.Lat, MaxLat: first.Lat,
+		MinLon: first.Lon, MaxLon: first.Lon,
+	}
+	for _, p := range tr.Points[1:] {
+		b.MinLat = math.Min(b.MinLat, p.Pos.Lat)
+		b.MaxLat = math.Max(b.MaxLat, p.Pos.Lat)
+		b.MinLon = math.Min(b.MinLon, p.Pos.Lon)
+		b.MaxLon = math.Max(b.MaxLon, p.Pos.Lon)
+	}
+	return b
 }
 
 // Source is a pull-based stream of points in non-decreasing time order.

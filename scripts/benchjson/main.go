@@ -1,0 +1,235 @@
+// Command benchjson runs the repository's root benchmark suite and
+// records the ns/op trajectory as a JSON artifact (BENCH_<n>.json, one
+// per optimization PR). Each artifact holds a "before" and an "after"
+// column so the speedup of the change that introduced it stays
+// reviewable long after the baseline machine is gone.
+//
+// Typical uses:
+//
+//	go run ./scripts/benchjson -benchtime 1x -keep-before -out BENCH_3.json
+//	    re-runs the suite and refreshes the "after" column, keeping the
+//	    checked-in "before" baseline (what `make bench` does);
+//
+//	go run ./scripts/benchjson -input after.txt -before before.txt -out BENCH_3.json
+//	    builds the artifact from two saved `go test -bench` outputs
+//	    without running anything.
+//
+// Numbers from different machines are not comparable; only the
+// before/after pair inside one artifact is, since both columns come
+// from the same host.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Artifact is the schema of a BENCH_<n>.json file.
+type Artifact struct {
+	Schema string `json:"schema"`
+	Config struct {
+		Bench     string `json:"bench"`
+		Benchtime string `json:"benchtime"`
+		Count     int    `json:"count"`
+	} `json:"config"`
+	// Before and After map benchmark name to ns/op.
+	Before  map[string]float64 `json:"before"`
+	After   map[string]float64 `json:"after"`
+	Speedup map[string]float64 `json:"speedup,omitempty"`
+	// Aggregate summarizes the shared-Lab figure and ablation
+	// benchmarks, the suite the optimization PRs target.
+	Aggregate *Aggregate `json:"aggregate,omitempty"`
+}
+
+// Aggregate is the summed before/after of one benchmark family.
+type Aggregate struct {
+	Pattern  string  `json:"pattern"`
+	BeforeNs float64 `json:"before_ns"`
+	AfterNs  float64 `json:"after_ns"`
+	Speedup  float64 `json:"speedup"`
+}
+
+// aggregatePattern selects the benchmarks that share one Lab — the
+// population whose aggregate speedup the perf PRs are judged on.
+var aggregatePattern = regexp.MustCompile(`^Benchmark(Figure[2-5]|Ablation)`)
+
+// benchLine matches one `go test -bench` result line; the trailing
+// -<GOMAXPROCS> suffix is stripped from the name.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+
+	out := flag.String("out", "BENCH_3.json", "artifact to write")
+	bench := flag.String("bench", ".", "benchmark pattern passed to go test -bench")
+	benchtime := flag.String("benchtime", "1x", "passed to go test -benchtime")
+	count := flag.Int("count", 1, "passed to go test -count; min ns/op per benchmark is kept")
+	input := flag.String("input", "", "parse this saved go-test output as the after column instead of running")
+	before := flag.String("before", "", "parse this saved go-test output as the before column")
+	keepBefore := flag.Bool("keep-before", false, "reuse the before column of the existing -out artifact")
+	flag.Parse()
+
+	after, err := afterColumn(*input, *bench, *benchtime, *count)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(after) == 0 {
+		log.Fatal("no benchmark results parsed")
+	}
+
+	art := &Artifact{
+		Schema: "locwatch-bench/v1",
+		Before: map[string]float64{},
+		After:  after,
+	}
+	art.Config.Bench = *bench
+	art.Config.Benchtime = *benchtime
+	art.Config.Count = *count
+
+	switch {
+	case *before != "":
+		art.Before, err = parseFile(*before)
+		if err != nil {
+			log.Fatal(err)
+		}
+	case *keepBefore:
+		art.Before, err = beforeFromArtifact(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fillSpeedups(art)
+	buf, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	report(art, *out)
+}
+
+// afterColumn obtains the fresh measurements: either by parsing a
+// saved run, or by running the root benchmark suite.
+func afterColumn(input, bench, benchtime string, count int) (map[string]float64, error) {
+	if input != "" {
+		return parseFile(input)
+	}
+	// Benchmarks only (-run '^$'), verbose enough to parse.
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", bench, "-benchtime", benchtime, "-count", strconv.Itoa(count), ".")
+	cmd.Stderr = os.Stderr
+	outBuf, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go test -bench: %w", err)
+	}
+	return parse(string(outBuf))
+}
+
+// parseFile parses a saved `go test -bench` output file.
+func parseFile(path string) (map[string]float64, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return parse(string(buf))
+}
+
+// parse extracts ns/op per benchmark; with repeated lines (-count > 1)
+// the minimum is kept, the usual noise-robust reading.
+func parse(out string) (map[string]float64, error) {
+	results := map[string]float64{}
+	for _, line := range regexp.MustCompile(`\r?\n`).Split(out, -1) {
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("parse %q: %w", line, err)
+		}
+		if prev, ok := results[m[1]]; !ok || ns < prev {
+			results[m[1]] = ns
+		}
+	}
+	return results, nil
+}
+
+// beforeFromArtifact reads the before column of an existing artifact;
+// a missing file yields an empty baseline rather than an error so the
+// first `make bench` on a fresh branch still works.
+func beforeFromArtifact(path string) (map[string]float64, error) {
+	buf, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return map[string]float64{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var prev Artifact
+	if err := json.Unmarshal(buf, &prev); err != nil {
+		return nil, fmt.Errorf("existing artifact %s: %w", path, err)
+	}
+	if prev.Before == nil {
+		return map[string]float64{}, nil
+	}
+	return prev.Before, nil
+}
+
+// fillSpeedups computes per-benchmark and aggregate speedups over the
+// names present in both columns.
+func fillSpeedups(art *Artifact) {
+	if len(art.Before) == 0 {
+		return
+	}
+	art.Speedup = map[string]float64{}
+	agg := &Aggregate{Pattern: aggregatePattern.String()}
+	for name, afterNs := range art.After {
+		beforeNs, ok := art.Before[name]
+		if !ok || afterNs <= 0 {
+			continue
+		}
+		art.Speedup[name] = round2(beforeNs / afterNs)
+		if aggregatePattern.MatchString(name) {
+			agg.BeforeNs += beforeNs
+			agg.AfterNs += afterNs
+		}
+	}
+	if agg.AfterNs > 0 {
+		agg.Speedup = round2(agg.BeforeNs / agg.AfterNs)
+		art.Aggregate = agg
+	}
+}
+
+func round2(v float64) float64 {
+	return float64(int64(v*100+0.5)) / 100
+}
+
+// report prints a short human-readable summary next to the artifact.
+func report(art *Artifact, out string) {
+	names := make([]string, 0, len(art.After))
+	for name := range art.After {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("wrote %s (%d benchmarks)\n", out, len(names))
+	for _, name := range names {
+		if s, ok := art.Speedup[name]; ok {
+			fmt.Printf("  %-36s %14.0f ns/op  %5.2fx\n", name, art.After[name], s)
+		} else {
+			fmt.Printf("  %-36s %14.0f ns/op\n", name, art.After[name])
+		}
+	}
+	if art.Aggregate != nil {
+		fmt.Printf("shared-Lab aggregate (%s): %.2fx\n", art.Aggregate.Pattern, art.Aggregate.Speedup)
+	}
+}
