@@ -3,7 +3,7 @@ FUZZTIME ?= 10s
 BENCHTIME ?= 1x
 BENCHOUT ?= BENCH_3.json
 
-.PHONY: all build test check fmt vet lint race fuzz vuln bench
+.PHONY: all build test check fmt vet lint race fuzz vuln bench cover
 
 all: build
 
@@ -36,6 +36,14 @@ lint:
 
 race:
 	$(GO) test -race ./...
+
+# Statement coverage: the per-package summary is the `go test -cover`
+# output itself, saved next to the merged profile. Informational (the
+# CI coverage job uploads both without gating on a threshold);
+# internal/obs is expected to stay ≥90%.
+cover:
+	$(GO) test -cover -covermode=atomic -coverprofile=coverage.out ./... | tee coverage-summary.txt
+	$(GO) tool cover -func=coverage.out | tail -n 1
 
 # Reproducible benchmark run: replays the root figure/ablation suite on
 # a shared Quick-config Lab and refreshes the "after" column of the

@@ -6,19 +6,28 @@
 // Usage:
 //
 //	marketscan [-seed N] [-workers N] [-section3] [-table1] [-fig1]
+//	           [-metrics-addr host:port] [-trace-out f]
 //
 // With no selection flags all three outputs are printed.
+//
+// -metrics-addr serves /metrics, /debug/vars and net/http/pprof for
+// the duration of the run; -trace-out writes the span trace (one span
+// per pipeline stage) as JSON on clean completion. Both are
+// observe-only and never change the report.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"time"
 
 	"locwatch/internal/market"
+	"locwatch/internal/obs"
 )
 
 func main() {
@@ -30,21 +39,69 @@ func main() {
 	section3 := flag.Bool("section3", false, "print the §III headline counts")
 	table1 := flag.Bool("table1", false, "print Table I (provider usage)")
 	fig1 := flag.Bool("fig1", false, "print Figure 1 (interval CDF)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and pprof on this address")
+	traceOut := flag.String("trace-out", "", "write the span trace as JSON to this file on exit")
 	flag.Parse()
 
 	if !*section3 && !*table1 && !*fig1 {
 		*section3, *table1, *fig1 = true, true, true
 	}
 
+	var reg *obs.Registry
+	if *metricsAddr != "" || *traceOut != "" {
+		reg = obs.NewRegistry()
+	}
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			log.Fatalf("metrics server: %v", err)
+		}
+		log.Printf("serving metrics on http://%s/metrics", srv.Addr())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				log.Printf("metrics server shutdown: %v", err)
+			}
+		}()
+	}
+	// log.Fatal exits without running defers, so the trace file only
+	// appears on clean completion — same contract as privacyeval.
+	defer func() {
+		if *traceOut == "" {
+			return
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("trace out: %v", err)
+		}
+		if err := reg.Tracer().WriteJSON(f); err != nil {
+			log.Fatalf("trace out: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("close trace out: %v", err)
+		}
+	}()
+	tracer := reg.Tracer()
+
+	sp := tracer.Start("generate")
 	m, err := market.Generate(*seed)
+	sp.End()
 	if err != nil {
 		log.Fatal(err)
 	}
-	obs, err := market.Campaign{Workers: *workers}.Run(m)
+	reg.Gauge("locwatch_market_apps").Set(int64(m.Len()))
+
+	sp = tracer.Start("campaign")
+	observations, err := market.Campaign{Workers: *workers}.Run(m)
+	sp.End()
 	if err != nil {
 		log.Fatal(err)
 	}
-	report := market.Aggregate(obs, m.Len())
+
+	sp = tracer.Start("aggregate")
+	report := market.Aggregate(observations, m.Len())
+	sp.End()
 
 	out := bufio.NewWriter(os.Stdout)
 	if *section3 {

@@ -7,14 +7,22 @@
 //	privacyeval [-exp all|fig2|fig3|fig4|fig5|ablation] [-quick]
 //	            [-users N] [-days N] [-seed N] [-workers N]
 //	            [-cpuprofile f] [-memprofile f]
+//	            [-metrics-addr host:port] [-trace-out f]
 //
 // The default is the paper-scale configuration (182 users, 14 days),
 // which takes a few minutes; -quick runs a reduced world. The pprof
 // flags capture profiles of whatever experiment selection runs;
 // profiles are written on clean completion only.
+//
+// -metrics-addr serves /metrics (Prometheus text), /debug/vars
+// (JSON), and net/http/pprof for the duration of the run; -trace-out
+// writes the span trace as JSON on clean completion. Either flag
+// enables instrumentation; both are observe-only and never change the
+// emitted tables (DESIGN.md §8).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -25,6 +33,7 @@ import (
 	"time"
 
 	"locwatch/internal/experiments"
+	"locwatch/internal/obs"
 )
 
 // emit writes one rendered section, aborting on write error so a
@@ -47,7 +56,47 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and pprof on this address")
+	traceOut := flag.String("trace-out", "", "write the span trace as JSON to this file on exit")
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metricsAddr != "" || *traceOut != "" {
+		reg = obs.NewRegistry()
+	}
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			log.Fatalf("metrics server: %v", err)
+		}
+		log.Printf("serving metrics on http://%s/metrics", srv.Addr())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				log.Printf("metrics server shutdown: %v", err)
+			}
+		}()
+	}
+	// Registered before the lab so it runs after the lab's deferred
+	// Close, which ends the root span. log.Fatal exits without running
+	// defers, so like the profiles the trace is written on clean
+	// completion only.
+	defer func() {
+		if *traceOut == "" {
+			return
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("trace out: %v", err)
+		}
+		if err := reg.Tracer().WriteJSON(f); err != nil {
+			log.Fatalf("trace out: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("close trace out: %v", err)
+		}
+	}()
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -95,6 +144,7 @@ func main() {
 		cfg.Mobility.Seed = *seed
 	}
 	cfg.Workers = *workers
+	cfg.Obs = reg
 
 	lab, err := experiments.NewLab(cfg)
 	if err != nil {
@@ -104,11 +154,13 @@ func main() {
 	ran := false
 	run := func(name string, fn func() (interface{ Render() string }, error)) {
 		ran = true
+		sp := reg.Tracer().Start(name)
 		start := time.Now()
 		r, err := fn()
 		if err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
+		sp.End()
 		emit("=== %s (%v) ===\n%s\n", name, time.Since(start).Round(time.Second), r.Render())
 	}
 

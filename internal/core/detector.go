@@ -71,6 +71,9 @@ func (d *Detector) Check() (Detection, error) {
 	}
 	det.Result = g
 	det.Breached = g.Match(d.reference.Params().Alpha)
+	if det.Breached {
+		obs.params.Obs.Breaches.Inc()
+	}
 	return det, nil
 }
 

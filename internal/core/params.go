@@ -110,6 +110,10 @@ type Params struct {
 	// chi-square test (the standard minimum-expected-count practice).
 	// Defaults to 0.02.
 	PoolShare float64
+	// Obs optionally counts model activity (points consumed, visits
+	// emitted, breaches detected); the zero value disables it.
+	// Counters are observe-only and never change any result.
+	Obs Metrics
 }
 
 // DefaultParams returns the paper's operating point.
@@ -132,8 +136,15 @@ func DefaultParams() Params {
 
 func (p Params) withDefaults() (Params, error) {
 	d := DefaultParams()
-	if p.Extractor == (poi.Params{}) {
+	// "Zero extractor params" means zero knobs: counters riding on the
+	// params must not defeat the defaulting, so strip them before the
+	// comparison and restore them after.
+	stripped := p.Extractor
+	stripped.Obs = poi.ExtractorObs{}
+	if stripped == (poi.Params{}) {
+		obsHooks := p.Extractor.Obs
 		p.Extractor = d.Extractor
+		p.Extractor.Obs = obsHooks
 	}
 	if p.MergeRadius == 0 {
 		p.MergeRadius = d.MergeRadius

@@ -129,6 +129,7 @@ func (b *ProfileBuilder) Feed(pt trace.Point) error {
 		p.sojourns++
 	}
 	p.points++
+	p.params.Obs.Points.Inc()
 	return nil
 }
 
@@ -141,6 +142,7 @@ func (b *ProfileBuilder) observe(s poi.StayPoint) {
 	p := b.profile
 	v := p.places.Observe(s)
 	p.visits++
+	p.params.Obs.Visits.Inc()
 	p.visitSeq = append(p.visitSeq, visitRec{pos: s.Pos, enter: s.Enter, exit: s.Exit})
 
 	if p.hasLastVisit && v.PlaceID != p.lastVisit.PlaceID {

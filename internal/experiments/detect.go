@@ -148,9 +148,15 @@ func (l *Lab) detectAll(profiles []*core.Profile, interval time.Duration, phases
 	l.mu.Lock()
 	if out, ok := l.detections[key]; ok {
 		l.mu.Unlock()
+		l.obsm.detectHits.Inc()
 		return out, nil
 	}
 	l.mu.Unlock()
+	l.obsm.detectMisses.Inc()
+	sp := l.obsm.root.Child("detect_all")
+	sp.SetAttr("interval", intervalLabel(interval))
+	sp.SetAttr("phased", fmt.Sprint(phases != nil))
+	defer sp.End()
 
 	totals, err := l.pointTotals(interval)
 	if err != nil {

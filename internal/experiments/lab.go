@@ -18,6 +18,7 @@ import (
 
 	"locwatch/internal/core"
 	"locwatch/internal/mobility"
+	"locwatch/internal/obs"
 	"locwatch/internal/trace"
 )
 
@@ -46,6 +47,14 @@ type Config struct {
 
 	// Workers bounds experiment concurrency; 0 means GOMAXPROCS.
 	Workers int
+
+	// Obs, when non-nil, receives the lab's metrics and spans: cache
+	// hit/miss counters, worker-pool queue depth and task latency, and
+	// per-stage spans, plus the mobility/core/poi counters of every
+	// layer the lab drives. Nil disables all instrumentation at the
+	// cost of one nil check per site. Instrumentation is observe-only:
+	// enabling it never changes any experiment output (DESIGN.md §8).
+	Obs *obs.Registry
 }
 
 // Default returns the paper-scale configuration: 182 users, 14 days,
@@ -101,6 +110,7 @@ type Lab struct {
 	cfg   Config
 	world *mobility.World
 	pool  *workerPool
+	obsm  labMetrics
 
 	mu         sync.Mutex
 	profiles   map[time.Duration][]*core.Profile // full-period profiles per access interval
@@ -121,15 +131,23 @@ func NewLab(cfg Config) (*Lab, error) {
 	if err != nil {
 		return nil, err
 	}
+	m := newLabMetrics(cfg.Obs)
+	if cfg.Obs != nil {
+		w.SetMetrics(mobilityMetrics(cfg.Obs))
+		cfg.Core.Obs = coreMetrics(cfg.Obs)
+		cfg.Core.Extractor.Obs = poiMetrics(cfg.Obs)
+	}
 	l := &Lab{
 		cfg:        cfg,
 		world:      w,
-		pool:       newWorkerPool(cfg.workers()),
+		pool:       newWorkerPool(cfg.workers(), m.queueDepth, m.taskSeconds),
+		obsm:       m,
 		profiles:   make(map[time.Duration][]*core.Profile),
 		collected:  make(map[time.Duration][]*core.Profile),
 		totals:     make(map[time.Duration][]int),
 		detections: make(map[detectKey][]DetectionOutcome),
 	}
+	l.obsm.root = m.tracer.Start("lab")
 	runtime.SetFinalizer(l, (*Lab).Close)
 	return l, nil
 }
@@ -139,6 +157,7 @@ func NewLab(cfg Config) (*Lab, error) {
 func (l *Lab) Close() {
 	runtime.SetFinalizer(l, nil)
 	l.pool.close()
+	l.obsm.root.End()
 }
 
 // Config returns the lab configuration.
@@ -161,23 +180,39 @@ type workerPool struct {
 	tasks chan func()
 	wg    sync.WaitGroup
 	once  sync.Once
+
+	// Observe-only instruments (nil when disabled): queueDepth is the
+	// number of submitted-but-not-yet-started tasks, taskSeconds the
+	// per-task execution latency.
+	queueDepth  *obs.Gauge
+	taskSeconds *obs.Histogram
 }
 
-func newWorkerPool(n int) *workerPool {
-	p := &workerPool{tasks: make(chan func())}
+func newWorkerPool(n int, queueDepth *obs.Gauge, taskSeconds *obs.Histogram) *workerPool {
+	p := &workerPool{
+		tasks:       make(chan func()),
+		queueDepth:  queueDepth,
+		taskSeconds: taskSeconds,
+	}
 	p.wg.Add(n)
 	for i := 0; i < n; i++ {
 		go func() {
 			defer p.wg.Done()
 			for task := range p.tasks {
+				p.queueDepth.Dec()
+				t := p.taskSeconds.Timer()
 				task()
+				t.Stop()
 			}
 		}()
 	}
 	return p
 }
 
-func (p *workerPool) submit(task func()) { p.tasks <- task }
+func (p *workerPool) submit(task func()) {
+	p.queueDepth.Inc()
+	p.tasks <- task
+}
 
 // close stops the workers after draining queued tasks. Idempotent.
 func (p *workerPool) close() {
@@ -220,9 +255,14 @@ func (l *Lab) ProfilesAt(interval time.Duration) ([]*core.Profile, error) {
 	l.mu.Lock()
 	if p, ok := l.profiles[interval]; ok {
 		l.mu.Unlock()
+		l.obsm.profileHits.Inc()
 		return p, nil
 	}
 	l.mu.Unlock()
+	l.obsm.profileMisses.Inc()
+	sp := l.obsm.root.Child("profiles_at")
+	sp.SetAttr("interval", intervalLabel(interval))
+	defer sp.End()
 
 	profiles := make([]*core.Profile, l.world.NumUsers())
 	err := l.forEachUser(func(id int) error {
@@ -253,9 +293,13 @@ func (l *Lab) HistoricalProfiles() ([]*core.Profile, error) {
 	l.mu.Lock()
 	if l.hist != nil {
 		defer l.mu.Unlock()
+		l.obsm.histHits.Inc()
 		return l.hist, nil
 	}
 	l.mu.Unlock()
+	l.obsm.histMisses.Inc()
+	sp := l.obsm.root.Child("historical_profiles")
+	defer sp.End()
 
 	cut := l.splitCut()
 	hist := make([]*core.Profile, l.world.NumUsers())
@@ -289,9 +333,14 @@ func (l *Lab) collectedAt(interval time.Duration) ([]*core.Profile, error) {
 	l.mu.Lock()
 	if p, ok := l.collected[interval]; ok {
 		l.mu.Unlock()
+		l.obsm.collectedHits.Inc()
 		return p, nil
 	}
 	l.mu.Unlock()
+	l.obsm.collectedMisses.Inc()
+	sp := l.obsm.root.Child("collected_at")
+	sp.SetAttr("interval", intervalLabel(interval))
+	defer sp.End()
 
 	cut := l.splitCut()
 	collected := make([]*core.Profile, l.world.NumUsers())
@@ -327,9 +376,14 @@ func (l *Lab) pointTotals(interval time.Duration) ([]int, error) {
 	l.mu.Lock()
 	if t, ok := l.totals[interval]; ok {
 		l.mu.Unlock()
+		l.obsm.totalsHits.Inc()
 		return t, nil
 	}
 	l.mu.Unlock()
+	l.obsm.totalsMisses.Inc()
+	sp := l.obsm.root.Child("point_totals")
+	sp.SetAttr("interval", intervalLabel(interval))
+	defer sp.End()
 
 	totals := make([]int, l.world.NumUsers())
 	err := l.forEachUser(func(id int) error {

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"locwatch/internal/obs"
+)
+
+// figureOutputs runs the full figure pipeline on one lab and returns
+// every result as canonical JSON plus its rendered table, in a fixed
+// order. The determinism test compares this string byte for byte
+// between an uninstrumented and a fully instrumented lab.
+func figureOutputs(t *testing.T, lab *Lab) string {
+	t.Helper()
+	var out string
+	add := func(name string, r interface{ Render() string }, err error) {
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		raw, err := json.MarshalIndent(r, "", " ")
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		out += fmt.Sprintf("=== %s ===\n%s\n%s\n", name, raw, r.Render())
+	}
+
+	report, err := MarketStudy(lab.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Figure2(lab)
+	add("fig2", f2, err)
+	f3, err := Figure3(lab, report)
+	add("fig3", f3, err)
+	f4, err := Figure4(lab)
+	add("fig4", f4, err)
+	f5, err := Figure5(lab)
+	add("fig5", f5, err)
+	cb, err := Combined(lab)
+	add("combined", cb, err)
+	return out
+}
+
+// TestObsDeterminism is the observe-only invariant check (DESIGN.md
+// §8): the Quick-config figure pipeline must produce byte-identical
+// results with instrumentation fully enabled and fully disabled.
+func TestObsDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick-config figure pipeline is too heavy for -short")
+	}
+
+	off := mustLab(t, Quick())
+	defer off.Close()
+	plainOut := figureOutputs(t, off)
+
+	cfg := Quick()
+	reg := obs.NewRegistry()
+	cfg.Obs = reg
+	on := mustLab(t, cfg)
+	instrumentedOut := figureOutputs(t, on)
+	// A second Figure4 replays entirely from the lab's memoized
+	// detections — it exercises the cache-hit counters for free.
+	if _, err := Figure4(on); err != nil {
+		t.Fatal(err)
+	}
+	on.Close()
+
+	if plainOut != instrumentedOut {
+		a, b := []byte(plainOut), []byte(instrumentedOut)
+		i := 0
+		for i < len(a) && i < len(b) && a[i] == b[i] {
+			i++
+		}
+		lo := i - 80
+		if lo < 0 {
+			lo = 0
+		}
+		t.Fatalf("instrumentation changed the output at byte %d:\nobs off: %q\nobs on:  %q",
+			i, plainOut[lo:min(i+80, len(plainOut))], instrumentedOut[lo:min(i+80, len(instrumentedOut))])
+	}
+
+	// The run really was instrumented: every layer's counters moved.
+	for _, name := range []string{
+		"locwatch_mobility_plan_builds_total",
+		"locwatch_mobility_plan_cache_hits_total",
+		"locwatch_mobility_fixes_total",
+		"locwatch_poi_points_total",
+		"locwatch_poi_stays_total",
+		"locwatch_core_points_total",
+		"locwatch_core_visits_total",
+		"locwatch_core_breaches_total",
+		"locwatch_lab_profiles_cache_misses_total",
+		"locwatch_lab_detect_cache_misses_total",
+		"locwatch_lab_detect_cache_hits_total",
+	} {
+		if v := reg.Counter(name).Value(); v == 0 {
+			t.Errorf("counter %s still zero after an instrumented run", name)
+		}
+	}
+	if n := reg.Histogram("locwatch_lab_pool_task_seconds", obs.DefLatencyBuckets).Count(); n == 0 {
+		t.Error("task latency histogram empty after an instrumented run")
+	}
+	if v := reg.Gauge("locwatch_lab_pool_queue_depth").Value(); v != 0 {
+		t.Errorf("queue depth %d after all experiments drained", v)
+	}
+
+	spans := reg.Tracer().Spans()
+	var root *obs.SpanRecord
+	children := 0
+	for i := range spans {
+		if spans[i].Name == "lab" {
+			root = &spans[i]
+		}
+	}
+	if root == nil {
+		t.Fatal("no lab root span recorded after Close")
+	}
+	for _, s := range spans {
+		if s.Parent == root.ID {
+			children++
+		}
+	}
+	if children == 0 {
+		t.Error("lab root span has no per-stage children")
+	}
+}
+
+// TestLabCloseDrainsInFlight is the lifecycle check: Close drains
+// in-flight pool tasks before returning, and repeated or concurrent
+// Close calls are no-ops.
+func TestLabCloseDrainsInFlight(t *testing.T) {
+	l := mustLab(t, tinyConfig())
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var task sync.WaitGroup
+	task.Add(1)
+	l.pool.submit(func() {
+		defer task.Done()
+		close(started)
+		<-release
+	})
+	<-started
+
+	done := make(chan struct{})
+	go func() {
+		l.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Close returned while a task was still in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	task.Wait()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return after the in-flight task finished")
+	}
+
+	var again sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		again.Add(1)
+		go func() {
+			defer again.Done()
+			l.Close()
+		}()
+	}
+	again.Wait()
+}
+
+// TestLabPoolGaugeBalance checks that the queue-depth gauge returns to
+// zero once submitted work drains.
+func TestLabPoolGaugeBalance(t *testing.T) {
+	cfg := tinyConfig()
+	reg := obs.NewRegistry()
+	cfg.Obs = reg
+	l := mustLab(t, cfg)
+	defer l.Close()
+	if err := l.forEachUser(func(id int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if v := reg.Gauge("locwatch_lab_pool_queue_depth").Value(); v != 0 {
+		t.Fatalf("queue depth %d after drain", v)
+	}
+	if n := reg.Histogram("locwatch_lab_pool_task_seconds", obs.DefLatencyBuckets).Count(); n != uint64(l.World().NumUsers()) {
+		t.Fatalf("task histogram count %d, want %d", n, l.World().NumUsers())
+	}
+}

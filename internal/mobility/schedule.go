@@ -114,7 +114,18 @@ type itinerary struct {
 // stream. Safe for concurrent callers.
 func (w *World) dayLegs(u *User, day int) []leg {
 	p := &w.plans[u.ID][day]
-	p.once.Do(func() { p.legs = w.buildDayLegs(u, day) })
+	built := false
+	p.once.Do(func() {
+		p.legs = w.buildDayLegs(u, day)
+		built = true
+	})
+	// A caller that lost the once race still counts as a hit: the plan
+	// was served from the shared cache, not rebuilt.
+	if built {
+		w.metrics.PlanBuilds.Inc()
+	} else {
+		w.metrics.PlanHits.Inc()
+	}
 	return p.legs
 }
 

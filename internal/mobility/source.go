@@ -117,6 +117,7 @@ func (s *userSource) Next() (trace.Point, error) {
 			p.Pos = pos
 		}
 		s.t = s.t.Add(s.interval)
+		s.w.metrics.Fixes.Inc()
 		return p, nil
 	}
 }

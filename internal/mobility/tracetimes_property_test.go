@@ -1,0 +1,135 @@
+package mobility
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"time"
+
+	"locwatch/internal/obs"
+	"locwatch/internal/trace"
+)
+
+// drainTimes replays src through a sampler with the given phase and
+// returns the emitted timestamps, asserting every position matches
+// wantPos (the timestamps-only stream must carry zero positions).
+func drainTimes(t *testing.T, src trace.Source, phase time.Duration, checkZeroPos bool) []time.Time {
+	t.Helper()
+	s := trace.NewSampler(src, 0, phase)
+	var out []time.Time
+	for {
+		pt, err := s.Next()
+		if errors.Is(err, io.EOF) {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if checkZeroPos && (pt.Pos.Lat != 0 || pt.Pos.Lon != 0) {
+			t.Fatalf("timestamps-only stream carried position %v", pt.Pos)
+		}
+		out = append(out, pt.T)
+	}
+}
+
+// TestTraceTimesMatchesTraceProperty is the TraceTimes contract as a
+// property test: for randomized (interval, phase) pairs, the
+// timestamp stream of TraceTimes equals the timestamps of a full
+// Trace replay exactly — same length, same instants — under the same
+// sampler. Emission timing must never depend on geometry or noise.
+func TestTraceTimesMatchesTraceProperty(t *testing.T) {
+	cfg := testConfig()
+	w := mustWorld(t, cfg)
+
+	rng := rand.New(rand.NewSource(42))
+	const trials = 25
+	totalTimestamps := 0
+	for trial := 0; trial < trials; trial++ {
+		id := rng.Intn(w.NumUsers())
+		// Intervals from sub-native (exercises the native-rate floor)
+		// to multi-hour; phases up to two days.
+		interval := time.Duration(rng.Int63n(int64(3 * time.Hour)))
+		phase := time.Duration(rng.Int63n(int64(48 * time.Hour)))
+
+		full, err := w.Trace(id, interval)
+		if err != nil {
+			t.Fatal(err)
+		}
+		timesOnly, err := w.TraceTimes(id, interval)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := drainTimes(t, full, phase, false)
+		got := drainTimes(t, timesOnly, phase, true)
+
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (user %d, interval %v, phase %v): %d timestamps from TraceTimes, %d from Trace",
+				trial, id, interval, phase, len(got), len(want))
+		}
+		for i := range want {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("trial %d (user %d, interval %v, phase %v): timestamp %d: %v != %v",
+					trial, id, interval, phase, i, got[i], want[i])
+			}
+		}
+		totalTimestamps += len(want)
+	}
+	if totalTimestamps == 0 {
+		t.Fatal("every trial produced an empty stream; the property was never exercised")
+	}
+}
+
+// TestWorldMetricsObserveOnly checks both that the mobility counters
+// move when installed and that installing them leaves the emitted
+// trace bit-identical.
+func TestWorldMetricsObserveOnly(t *testing.T) {
+	cfg := testConfig()
+	plain := mustWorld(t, cfg)
+
+	instrumented := mustWorld(t, cfg)
+	reg := obs.NewRegistry()
+	m := Metrics{
+		PlanBuilds: reg.Counter("plan_builds"),
+		PlanHits:   reg.Counter("plan_hits"),
+		Fixes:      reg.Counter("fixes"),
+	}
+	instrumented.SetMetrics(m)
+
+	for id := 0; id < plain.NumUsers(); id++ {
+		a, err := plain.Trace(id, time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := instrumented.Trace(id, time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; ; i++ {
+			pa, errA := a.Next()
+			pb, errB := b.Next()
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("user %d fix %d: error divergence %v vs %v", id, i, errA, errB)
+			}
+			if errA != nil {
+				break
+			}
+			if pa != pb {
+				t.Fatalf("user %d fix %d: %v != %v", id, i, pa, pb)
+			}
+		}
+	}
+
+	if m.Fixes.Value() == 0 {
+		t.Error("fixes counter still zero after trace replay")
+	}
+	if m.PlanBuilds.Value() == 0 {
+		t.Error("plan builds counter still zero after trace replay")
+	}
+	// Every (user, day) plan is built at most once no matter how many
+	// sources replayed it.
+	maxBuilds := uint64(cfg.Users * cfg.Days)
+	if v := m.PlanBuilds.Value(); v > maxBuilds {
+		t.Errorf("%d plan builds for %d user-days", v, maxBuilds)
+	}
+}

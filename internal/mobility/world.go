@@ -28,7 +28,22 @@ import (
 	"time"
 
 	"locwatch/internal/geo"
+	"locwatch/internal/obs"
 )
+
+// Metrics optionally counts world activity; the zero value disables
+// it and nil counters no-op. Counters are observe-only: they never
+// touch the seeded RNG streams or the emitted fixes, so enabling them
+// cannot change a trace (DESIGN.md §8).
+type Metrics struct {
+	// PlanBuilds counts leg-plan cache misses (actual day builds).
+	PlanBuilds *obs.Counter
+	// PlanHits counts leg-plan cache hits.
+	PlanHits *obs.Counter
+	// Fixes counts GPS fixes emitted across all trace sources,
+	// including timestamps-only streams.
+	Fixes *obs.Counter
+}
 
 // VenueKind classifies venues in the city pool.
 type VenueKind int
@@ -252,11 +267,12 @@ type dayPlan struct {
 // the access pattern of every interval sweep — pays routing and RNG
 // work once.
 type World struct {
-	cfg    Config
-	venues []Venue
-	users  []*User
-	plans  [][]dayPlan     // [user][day] memoized leg plans
-	proj   *geo.Projection // city-anchored plane for per-fix noise offsets
+	cfg     Config
+	venues  []Venue
+	users   []*User
+	plans   [][]dayPlan     // [user][day] memoized leg plans
+	proj    *geo.Projection // city-anchored plane for per-fix noise offsets
+	metrics Metrics         // optional observe-only counters
 
 	campusCenter  geo.LatLon
 	campusDorms   []Venue
@@ -283,6 +299,11 @@ func New(cfg Config) (*World, error) {
 
 // Config returns the configuration the world was generated from.
 func (w *World) Config() Config { return w.cfg }
+
+// SetMetrics installs observe-only counters. Call it right after New,
+// before any trace source exists: the field is read without
+// synchronization during trace generation.
+func (w *World) SetMetrics(m Metrics) { w.metrics = m }
 
 // NumUsers returns the population size.
 func (w *World) NumUsers() int { return len(w.users) }

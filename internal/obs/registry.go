@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Registry names and owns a set of instruments plus one tracer, and
+// renders them as expvar-style JSON (/debug/vars) or Prometheus text
+// exposition (/metrics). Lookups are get-or-create and idempotent:
+// two callers asking for the same counter name share one counter. A
+// nil *Registry hands out nil instruments, so a single nil check at
+// wiring time disables a whole subsystem's instrumentation.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	tracer   Tracer
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// metricName is the Prometheus-compatible metric name charset.
+var metricName = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+
+// check panics on misuse: instrument names are compile-time constants
+// in this repository, so a bad or kind-conflicting name is a
+// programming error, not a runtime condition to handle.
+func (r *Registry) check(name, kind string) {
+	if !metricName.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for otherKind, taken := range map[string]bool{
+		"counter":   r.counters[name] != nil,
+		"gauge":     r.gauges[name] != nil,
+		"histogram": r.hists[name] != nil,
+	} {
+		if taken && otherKind != kind {
+			panic(fmt.Sprintf("obs: %s %q already registered as a %s", kind, name, otherKind))
+		}
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.check(name, "counter")
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.check(name, "gauge")
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use. Later calls for the same name return
+// the existing histogram regardless of bounds; bounds are validated
+// on creation and panic on misuse like bad names do.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.check(name, "histogram")
+	h := r.hists[name]
+	if h == nil {
+		var err error
+		h, err = newHistogram(bounds)
+		if err != nil {
+			panic(fmt.Sprintf("obs: histogram %q: %v", name, err))
+		}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Tracer returns the registry's span tracer.
+func (r *Registry) Tracer() *Tracer {
+	if r == nil {
+		return nil
+	}
+	return &r.tracer
+}
+
+// histSnapshot is the JSON shape of one histogram.
+type histSnapshot struct {
+	Count   uint64       `json:"count"`
+	Sum     float64      `json:"sum"`
+	Buckets []bucketJSON `json:"buckets"`
+}
+
+// bucketJSON renders one cumulative bucket; LE is a string because
+// the +Inf bound has no JSON number representation.
+type bucketJSON struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// formatBound renders a bucket bound the same way for JSON and for
+// the Prometheus le label.
+func formatBound(b float64) string {
+	if math.IsInf(b, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// WriteJSON renders every instrument as one expvar-style JSON object
+// with deterministic key order.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	type doc struct {
+		Counters   map[string]uint64       `json:"counters"`
+		Gauges     map[string]int64        `json:"gauges"`
+		Histograms map[string]histSnapshot `json:"histograms"`
+		Spans      int                     `json:"spans"`
+	}
+	d := doc{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]histSnapshot{},
+	}
+	r.mu.Lock()
+	for name, c := range r.counters {
+		d.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		d.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		snap := histSnapshot{Count: h.Count(), Sum: h.Sum()}
+		for _, b := range h.Buckets() {
+			snap.Buckets = append(snap.Buckets, bucketJSON{LE: formatBound(b.Bound), Count: b.Count})
+		}
+		d.Histograms[name] = snap
+	}
+	r.mu.Unlock()
+	d.Spans = len(r.tracer.Spans())
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d) // map keys are sorted by encoding/json
+}
+
+// WriteProm renders every instrument in the Prometheus text
+// exposition format (version 0.0.4), names sorted for deterministic
+// scrapes.
+func (r *Registry) WriteProm(w io.Writer) error {
+	var buf bytes.Buffer
+	r.mu.Lock()
+	for _, name := range sortedKeys(r.counters) {
+		fmt.Fprintf(&buf, "# TYPE %s counter\n%s %d\n", name, name, r.counters[name].Value())
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		fmt.Fprintf(&buf, "# TYPE %s gauge\n%s %d\n", name, name, r.gauges[name].Value())
+	}
+	for _, name := range sortedKeys(r.hists) {
+		h := r.hists[name]
+		fmt.Fprintf(&buf, "# TYPE %s histogram\n", name)
+		for _, b := range h.Buckets() {
+			fmt.Fprintf(&buf, "%s_bucket{le=%q} %d\n", name, formatBound(b.Bound), b.Count)
+		}
+		fmt.Fprintf(&buf, "%s_sum %s\n", name, strconv.FormatFloat(h.Sum(), 'g', -1, 64))
+		fmt.Fprintf(&buf, "%s_count %d\n", name, h.Count())
+	}
+	r.mu.Unlock()
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

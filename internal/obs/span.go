@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SpanRecord is one finished span in the flat exported trace. Parent
+// is 0 for root spans; IDs are assigned in start order, starting at 1.
+type SpanRecord struct {
+	ID         uint64            `json:"id"`
+	Parent     uint64            `json:"parent,omitempty"`
+	Name       string            `json:"name"`
+	Start      time.Time         `json:"start"`
+	DurationNS int64             `json:"duration_ns"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+}
+
+// Tracer collects spans. Spans from any number of goroutines may be
+// open at once; finished spans accumulate until Spans or WriteJSON
+// snapshots them. A nil *Tracer no-ops and hands out nil *Spans.
+type Tracer struct {
+	mu   sync.Mutex
+	next uint64
+	done []SpanRecord
+}
+
+// Span is one in-flight operation. All methods are nil-safe, so code
+// instrumented against a disabled tracer pays only nil checks.
+type Span struct {
+	tr     *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs map[string]string
+	ended bool
+}
+
+// Start opens a root span.
+func (t *Tracer) Start(name string) *Span {
+	return t.start(name, 0)
+}
+
+func (t *Tracer) start(name string, parent uint64) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.next++
+	id := t.next
+	t.mu.Unlock()
+	return &Span{tr: t, id: id, parent: parent, name: name, start: time.Now()}
+}
+
+// Child opens a span parented under s.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.start(name, s.id)
+}
+
+// SetAttr attaches a key/value annotation to the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = map[string]string{}
+	}
+	s.attrs[key] = value
+}
+
+// End finishes the span and files its record with the tracer.
+// Idempotent: only the first End records.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+
+	rec := SpanRecord{
+		ID:         s.id,
+		Parent:     s.parent,
+		Name:       s.name,
+		Start:      s.start,
+		DurationNS: int64(time.Since(s.start)),
+		Attrs:      attrs,
+	}
+	s.tr.mu.Lock()
+	s.tr.done = append(s.tr.done, rec)
+	s.tr.mu.Unlock()
+}
+
+// Spans returns a snapshot of finished spans in start (ID) order.
+func (t *Tracer) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]SpanRecord(nil), t.done...)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// traceArtifact is the schema of an exported trace file.
+type traceArtifact struct {
+	Schema string       `json:"schema"`
+	Spans  []SpanRecord `json:"spans"`
+}
+
+// WriteJSON writes the finished spans as one flat JSON document. A
+// nil tracer writes an empty (but schema-valid) trace.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	art := traceArtifact{Schema: "locwatch-trace/v1", Spans: t.Spans()}
+	if art.Spans == nil {
+		art.Spans = []SpanRecord{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(art)
+}

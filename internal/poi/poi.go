@@ -56,6 +56,10 @@ type Params struct {
 	// zero, comfortably above the largest access interval the market
 	// study observed (7,200 s).
 	MaxGap time.Duration
+	// Obs optionally counts extractor activity; the zero value
+	// disables it. Counters are observe-only and never change
+	// extraction results.
+	Obs ExtractorObs
 }
 
 // DefaultParams returns the paper's chosen parameter set 1.
@@ -190,6 +194,7 @@ func (e *Extractor) Feed(p trace.Point) error {
 	}
 	e.last = p.T
 	e.anyPoint = true
+	e.params.Obs.Points.Inc()
 
 	if e.inPoI {
 		e.feedInside(p)
@@ -258,6 +263,7 @@ func (e *Extractor) emitIf(end time.Time) {
 		return
 	}
 	if end.Sub(e.poiStart) >= e.params.MinVisit && e.poiN > 0 {
+		e.params.Obs.Stays.Inc()
 		e.emit(StayPoint{
 			Pos:     e.poi.Value(),
 			Enter:   e.poiStart,

@@ -49,6 +49,7 @@ func (e *StayPointExtractor) Feed(p trace.Point) error {
 	}
 	e.last = p.T
 	e.any = true
+	e.params.Obs.Points.Inc()
 
 	if len(e.group) == 0 {
 		e.push(p)
@@ -75,6 +76,7 @@ func (e *StayPointExtractor) flushGroup() {
 	if n := len(e.group); n > 1 {
 		span := e.group[n-1].T.Sub(e.group[0].T)
 		if span >= e.params.MinVisit {
+			e.params.Obs.Stays.Inc()
 			e.emit(StayPoint{
 				Pos:     e.centroid.Value(),
 				Enter:   e.group[0].T,

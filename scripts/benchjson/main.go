@@ -23,6 +23,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/exec"
@@ -67,22 +68,37 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	out := flag.String("out", "BENCH_3.json", "artifact to write")
-	bench := flag.String("bench", ".", "benchmark pattern passed to go test -bench")
-	benchtime := flag.String("benchtime", "1x", "passed to go test -benchtime")
-	count := flag.Int("count", 1, "passed to go test -count; min ns/op per benchmark is kept")
-	input := flag.String("input", "", "parse this saved go-test output as the after column instead of running")
-	before := flag.String("before", "", "parse this saved go-test output as the before column")
-	keepBefore := flag.Bool("keep-before", false, "reuse the before column of the existing -out artifact")
-	flag.Parse()
+// run is main without the exit: an empty benchmark set anywhere is an
+// error before anything is written, so a typoed pattern or a garbage
+// input file can never produce a degenerate artifact that later reads
+// as "no change".
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	out := fs.String("out", "BENCH_3.json", "artifact to write")
+	bench := fs.String("bench", ".", "benchmark pattern passed to go test -bench")
+	benchtime := fs.String("benchtime", "1x", "passed to go test -benchtime")
+	count := fs.Int("count", 1, "passed to go test -count; min ns/op per benchmark is kept")
+	input := fs.String("input", "", "parse this saved go-test output as the after column instead of running")
+	before := fs.String("before", "", "parse this saved go-test output as the before column")
+	keepBefore := fs.Bool("keep-before", false, "reuse the before column of the existing -out artifact")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	after, err := afterColumn(*input, *bench, *benchtime, *count)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if len(after) == 0 {
-		log.Fatal("no benchmark results parsed")
+		if *input != "" {
+			return fmt.Errorf("no benchmark result lines in %s; refusing to write a degenerate %s (expected `go test -bench` output)", *input, *out)
+		}
+		return fmt.Errorf("`go test -bench %s` matched no benchmarks; refusing to write a degenerate %s (check the -bench pattern)", *bench, *out)
 	}
 
 	art := &Artifact{
@@ -98,24 +114,27 @@ func main() {
 	case *before != "":
 		art.Before, err = parseFile(*before)
 		if err != nil {
-			log.Fatal(err)
+			return err
+		}
+		if len(art.Before) == 0 {
+			return fmt.Errorf("no benchmark result lines in baseline %s; pass a saved `go test -bench` output as -before", *before)
 		}
 	case *keepBefore:
 		art.Before, err = beforeFromArtifact(*out)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 
 	fillSpeedups(art)
 	buf, err := json.MarshalIndent(art, "", "  ")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	report(art, *out)
+	return report(stdout, art, *out)
 }
 
 // afterColumn obtains the fresh measurements: either by parsing a
@@ -215,21 +234,30 @@ func round2(v float64) float64 {
 }
 
 // report prints a short human-readable summary next to the artifact.
-func report(art *Artifact, out string) {
+func report(w io.Writer, art *Artifact, out string) error {
 	names := make([]string, 0, len(art.After))
 	for name := range art.After {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	fmt.Printf("wrote %s (%d benchmarks)\n", out, len(names))
+	if _, err := fmt.Fprintf(w, "wrote %s (%d benchmarks)\n", out, len(names)); err != nil {
+		return err
+	}
 	for _, name := range names {
+		var err error
 		if s, ok := art.Speedup[name]; ok {
-			fmt.Printf("  %-36s %14.0f ns/op  %5.2fx\n", name, art.After[name], s)
+			_, err = fmt.Fprintf(w, "  %-36s %14.0f ns/op  %5.2fx\n", name, art.After[name], s)
 		} else {
-			fmt.Printf("  %-36s %14.0f ns/op\n", name, art.After[name])
+			_, err = fmt.Fprintf(w, "  %-36s %14.0f ns/op\n", name, art.After[name])
+		}
+		if err != nil {
+			return err
 		}
 	}
 	if art.Aggregate != nil {
-		fmt.Printf("shared-Lab aggregate (%s): %.2fx\n", art.Aggregate.Pattern, art.Aggregate.Speedup)
+		if _, err := fmt.Fprintf(w, "shared-Lab aggregate (%s): %.2fx\n", art.Aggregate.Pattern, art.Aggregate.Speedup); err != nil {
+			return err
+		}
 	}
+	return nil
 }

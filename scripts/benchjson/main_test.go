@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleAfter = `goos: linux
+BenchmarkFigure2-8                 1    120000000 ns/op
+BenchmarkFigure4a-8                1     60000000 ns/op
+BenchmarkTraceGen-8                2      5000000 ns/op
+PASS
+`
+
+const sampleBefore = `BenchmarkFigure2-8                 1    240000000 ns/op
+BenchmarkFigure4a-8                1     90000000 ns/op
+`
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunBuildsArtifact(t *testing.T) {
+	dir := t.TempDir()
+	after := write(t, dir, "after.txt", sampleAfter)
+	before := write(t, dir, "before.txt", sampleBefore)
+	out := filepath.Join(dir, "BENCH.json")
+
+	var stdout bytes.Buffer
+	err := run([]string{"-input", after, "-before", before, "-out", out}, &stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	buf, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art Artifact
+	if err := json.Unmarshal(buf, &art); err != nil {
+		t.Fatal(err)
+	}
+	if len(art.After) != 3 || len(art.Before) != 2 {
+		t.Fatalf("after %d / before %d benchmarks", len(art.After), len(art.Before))
+	}
+	if s := art.Speedup["BenchmarkFigure2"]; s != 2 {
+		t.Fatalf("Figure2 speedup %v, want 2", s)
+	}
+	if art.Aggregate == nil || art.Aggregate.Speedup == 0 {
+		t.Fatal("missing shared-Lab aggregate")
+	}
+	if !strings.Contains(stdout.String(), "wrote "+out) {
+		t.Fatalf("summary missing artifact path: %q", stdout.String())
+	}
+}
+
+func TestRunRefusesEmptyAfter(t *testing.T) {
+	dir := t.TempDir()
+	input := write(t, dir, "garbage.txt", "no benchmarks here\n")
+	out := filepath.Join(dir, "BENCH.json")
+
+	err := run([]string{"-input", input, "-out", out}, new(bytes.Buffer))
+	if err == nil {
+		t.Fatal("empty benchmark set accepted")
+	}
+	if !strings.Contains(err.Error(), input) || !strings.Contains(err.Error(), "degenerate") {
+		t.Fatalf("error does not name the input file: %v", err)
+	}
+	if _, statErr := os.Stat(out); !os.IsNotExist(statErr) {
+		t.Fatalf("degenerate artifact written anyway: %v", statErr)
+	}
+}
+
+func TestRunRefusesEmptyBefore(t *testing.T) {
+	dir := t.TempDir()
+	after := write(t, dir, "after.txt", sampleAfter)
+	before := write(t, dir, "empty.txt", "PASS\n")
+	out := filepath.Join(dir, "BENCH.json")
+
+	err := run([]string{"-input", after, "-before", before, "-out", out}, new(bytes.Buffer))
+	if err == nil {
+		t.Fatal("empty baseline accepted")
+	}
+	if !strings.Contains(err.Error(), before) {
+		t.Fatalf("error does not name the baseline file: %v", err)
+	}
+	if _, statErr := os.Stat(out); !os.IsNotExist(statErr) {
+		t.Fatalf("artifact written despite empty baseline: %v", statErr)
+	}
+}
+
+func TestParseKeepsMinimum(t *testing.T) {
+	got, err := parse("BenchmarkX-8 1 300 ns/op\nBenchmarkX-8 1 100 ns/op\nBenchmarkX-8 1 200 ns/op\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkX"] != 100 {
+		t.Fatalf("min ns/op %v, want 100", got["BenchmarkX"])
+	}
+}
+
+func TestKeepBeforeMissingArtifact(t *testing.T) {
+	dir := t.TempDir()
+	after := write(t, dir, "after.txt", sampleAfter)
+	out := filepath.Join(dir, "BENCH.json")
+
+	// First run on a fresh branch: no existing artifact, -keep-before
+	// degrades to an empty baseline instead of failing.
+	if err := run([]string{"-input", after, "-keep-before", "-out", out}, new(bytes.Buffer)); err != nil {
+		t.Fatal(err)
+	}
+	var art Artifact
+	buf, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf, &art); err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Before) != 0 || len(art.Speedup) != 0 {
+		t.Fatalf("fresh-branch artifact has before=%d speedup=%d entries", len(art.Before), len(art.Speedup))
+	}
+}
