@@ -29,8 +29,10 @@ vet:
 	$(GO) vet ./...
 
 # The domain analyzers: the syntactic tier (latlonbounds, angleunits,
-# lockedmap, durationseconds, detclock) plus the flow-sensitive tier
-# (nilfacade, exhaustenum, errflow). Exit status 1 means findings.
+# lockedmap, durationseconds, detclock), the flow-sensitive tier
+# (nilfacade, exhaustenum, errflow) and the interprocedural tier
+# (detreach, spawnleak, plus nilfacade's cross-function nilness).
+# Exit status 1 means findings.
 lint:
 	$(GO) run ./cmd/locwatchlint ./...
 
@@ -46,12 +48,14 @@ cover:
 	$(GO) tool cover -func=coverage.out | tail -n 1
 
 # Reproducible benchmark run: replays the root figure/ablation suite on
-# a shared Quick-config Lab and refreshes the "after" column of the
-# checked-in trajectory artifact, keeping its "before" baseline. Raise
-# BENCHTIME (e.g. 5x) for lower-noise numbers; see DESIGN.md §7 for how
-# to read BENCH_*.json.
+# a shared Quick-config Lab plus the call-graph/summary construction
+# benchmarks, and refreshes the "after" column of the checked-in
+# trajectory artifact, keeping its "before" baseline. Raise BENCHTIME
+# (e.g. 5x) for lower-noise numbers; see DESIGN.md §7 for how to read
+# BENCH_*.json.
 bench:
-	$(GO) run ./scripts/benchjson -benchtime $(BENCHTIME) -keep-before -out $(BENCHOUT)
+	$(GO) run ./scripts/benchjson -benchtime $(BENCHTIME) -keep-before \
+		-pkgs .,./internal/lint/callgraph -out $(BENCHOUT)
 
 # Ten-second fuzz passes over the three untrusted-input parsers:
 # market page scraping, dumpsys battery output, and PLT trace files.

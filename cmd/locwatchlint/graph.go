@@ -1,0 +1,147 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"locwatch/internal/lint"
+	"locwatch/internal/lint/callgraph"
+)
+
+// dumpGraph renders the call-graph slice reachable from every function
+// whose fully qualified name contains rootPattern, as DOT or JSON.
+// This is how a detreach or spawnleak finding gets explained: dump the
+// entry point it named and follow the edges to the reported site.
+func dumpGraph(w io.Writer, prog *lint.Program, rootPattern, format string) error {
+	var roots []*callgraph.Node
+	for _, n := range prog.Graph.Nodes() {
+		if strings.Contains(n.Name(), rootPattern) {
+			roots = append(roots, n)
+		}
+	}
+	if len(roots) == 0 {
+		return fmt.Errorf("-graph: no function matches %q", rootPattern)
+	}
+	reach := prog.Graph.Reachable(roots)
+	nodes := make([]*callgraph.Node, 0, len(reach))
+	for n := range reach {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Name() < nodes[j].Name() })
+
+	switch format {
+	case "dot":
+		return writeDOT(w, prog, roots, nodes, reach)
+	case "json":
+		return writeJSON(w, prog, roots, nodes, reach)
+	default:
+		return fmt.Errorf("-graph-format: unknown format %q (want dot or json)", format)
+	}
+}
+
+func writeDOT(w io.Writer, prog *lint.Program, roots, nodes []*callgraph.Node, reach map[*callgraph.Node]bool) error {
+	rootSet := make(map[*callgraph.Node]bool, len(roots))
+	for _, r := range roots {
+		rootSet[r] = true
+	}
+	var b strings.Builder
+	b.WriteString("digraph callgraph {\n")
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=box, fontname=monospace];\n")
+	for _, n := range nodes {
+		attrs := []string{fmt.Sprintf("label=%q", n.Name())}
+		if rootSet[n] {
+			attrs = append(attrs, "penwidth=2")
+		}
+		// Clock-tainted functions are the red nodes detreach is about.
+		if f := prog.Sums.OfNode(n); f != nil && f.CallsClock {
+			attrs = append(attrs, "color=red")
+		}
+		fmt.Fprintf(&b, "  %q [%s];\n", n.Name(), strings.Join(attrs, ", "))
+	}
+	for _, n := range nodes {
+		for _, e := range n.Out {
+			if !reach[e.Callee] {
+				continue
+			}
+			style := ""
+			if e.Dynamic {
+				style = " [style=dashed]"
+			}
+			fmt.Fprintf(&b, "  %q -> %q%s;\n", n.Name(), e.Callee.Name(), style)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// graphJSON is the -graph-format=json schema.
+type graphJSON struct {
+	Roots []string        `json:"roots"`
+	Nodes []graphNodeJSON `json:"nodes"`
+}
+
+type graphNodeJSON struct {
+	Name             string          `json:"name"`
+	Package          string          `json:"package"`
+	Calls            []graphEdgeJSON `json:"calls,omitempty"`
+	External         []string        `json:"external,omitempty"`
+	MayReturnNil     []bool          `json:"mayReturnNil,omitempty"`
+	NilOnlyWithError bool            `json:"nilOnlyWithError,omitempty"`
+	CallsClock       bool            `json:"callsClock,omitempty"`
+	ClockVia         string          `json:"clockVia,omitempty"`
+	Spawns           bool            `json:"spawnsGoroutine,omitempty"`
+	MutatesRecv      bool            `json:"mutatesReceiver,omitempty"`
+}
+
+type graphEdgeJSON struct {
+	To      string `json:"to"`
+	Dynamic bool   `json:"dynamic,omitempty"`
+}
+
+func writeJSON(w io.Writer, prog *lint.Program, roots, nodes []*callgraph.Node, reach map[*callgraph.Node]bool) error {
+	out := graphJSON{}
+	for _, r := range roots {
+		out.Roots = append(out.Roots, r.Name())
+	}
+	sort.Strings(out.Roots)
+	for _, n := range nodes {
+		jn := graphNodeJSON{Name: n.Name(), Package: n.Pkg.Path}
+		for _, e := range n.Out {
+			if reach[e.Callee] {
+				jn.Calls = append(jn.Calls, graphEdgeJSON{To: e.Callee.Name(), Dynamic: e.Dynamic})
+			}
+		}
+		seen := make(map[string]bool)
+		for _, ext := range n.External {
+			name := ext.Fn.FullName()
+			if !seen[name] {
+				seen[name] = true
+				jn.External = append(jn.External, name)
+			}
+		}
+		sort.Strings(jn.External)
+		if f := prog.Sums.OfNode(n); f != nil {
+			anyNil := false
+			for _, m := range f.ResultMayNil {
+				anyNil = anyNil || m
+			}
+			if anyNil {
+				jn.MayReturnNil = f.ResultMayNil
+				jn.NilOnlyWithError = f.NilOnlyWithError
+			}
+			jn.CallsClock = f.CallsClock
+			jn.ClockVia = f.ClockVia
+			jn.Spawns = f.Spawns
+			jn.MutatesRecv = f.MutatesReceiver
+		}
+		out.Nodes = append(out.Nodes, jn)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

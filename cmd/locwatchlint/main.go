@@ -12,6 +12,11 @@
 //	-json         emit findings as a JSON array instead of text
 //	-disable a,b  skip the named analyzers
 //	-list         print the analyzer suite and exit
+//	-graph s      instead of linting, dump the call-graph slice reachable
+//	              from functions whose qualified name contains s — the
+//	              debugging companion to detreach/spawnleak findings
+//	-graph-format dot (default) or json; json includes the function
+//	              summaries (may-return-nil, calls-clock, spawns)
 package main
 
 import (
@@ -34,6 +39,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as JSON")
 	disable := flag.String("disable", "", "comma-separated analyzer names to skip")
 	list := flag.Bool("list", false, "print the analyzer suite and exit")
+	graphRoot := flag.String("graph", "", "dump the call graph reachable from functions whose qualified name contains this substring, then exit")
+	graphFormat := flag.String("graph-format", "dot", "call-graph dump format: dot or json")
 	flag.Parse()
 
 	if *list {
@@ -70,7 +77,20 @@ func main() {
 		pkgs = append(pkgs, pkg)
 	}
 
-	findings, err := lint.Run(pkgs, analyzers)
+	// The whole-program view: dependency packages the loader memoized
+	// while type-checking the targets join the call graph, so detreach
+	// and spawnleak see through package boundaries.
+	prog := lint.BuildProgram(pkgs, ld.Package)
+
+	if *graphRoot != "" {
+		if err := dumpGraph(os.Stdout, prog, *graphRoot, *graphFormat); err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	findings, err := prog.Run(analyzers)
 	if err != nil {
 		log.Print(err)
 		os.Exit(2)

@@ -36,6 +36,13 @@ type Pass struct {
 
 	// Report records a diagnostic.
 	Report func(Diagnostic)
+
+	// Program optionally carries a whole-program view (call graph and
+	// function summaries) shared across the packages of one run — the
+	// stdlib-shim analogue of Requires/ResultOf in x/tools. Analyzers
+	// that need it type-assert to the concrete program type provided by
+	// the driver and must degrade to a no-op when it is absent.
+	Program any
 }
 
 // Reportf records a diagnostic at pos with a formatted message.

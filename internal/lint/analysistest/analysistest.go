@@ -34,25 +34,32 @@ type expectation struct {
 }
 
 // Run loads each fixture package below srcRoot (a GOPATH-style src
-// directory) and applies the analyzer, comparing diagnostics against
-// the fixtures' want comments.
+// directory), builds one whole-program view over all of them together
+// (so interprocedural analyzers see cross-package call chains exactly
+// as the real driver does), and applies the analyzer per package,
+// comparing diagnostics against the fixtures' want comments.
 func Run(t *testing.T, srcRoot string, a *analysis.Analyzer, pkgPaths ...string) {
 	t.Helper()
 	ld := loader.New(loader.SrcDir(srcRoot))
+	var pkgs []*loader.Package
 	for _, path := range pkgPaths {
 		pkg, err := ld.Load(path)
 		if err != nil {
 			t.Errorf("%s: loading %s: %v", a.Name, path, err)
 			continue
 		}
-		findings, err := lint.RunPackage(pkg, a)
+		pkgs = append(pkgs, pkg)
+	}
+	prog := lint.BuildProgram(pkgs, ld.Package)
+	for _, pkg := range pkgs {
+		findings, err := prog.RunPackage(pkg, a)
 		if err != nil {
-			t.Errorf("%s: running on %s: %v", a.Name, path, err)
+			t.Errorf("%s: running on %s: %v", a.Name, pkg.Path, err)
 			continue
 		}
 		expects, err := collectWants(pkg)
 		if err != nil {
-			t.Errorf("%s: %s: %v", a.Name, path, err)
+			t.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
 			continue
 		}
 		for _, f := range findings {

@@ -50,6 +50,32 @@ func TestNilFacade(t *testing.T) {
 	analysistest.Run(t, fixtures, lint.NilFacade, "nilfacade")
 }
 
+// TestNilFacadeHelpers runs the same fixture tree but asserts on the
+// dependency stub too: the helpers in nilfacade/core must themselves
+// stay silent (their nil returns are contracts, not bugs).
+func TestNilFacadeHelpers(t *testing.T) {
+	analysistest.Run(t, fixtures, lint.NilFacade, "nilfacade/core")
+}
+
 func TestErrFlow(t *testing.T) {
 	analysistest.Run(t, fixtures, lint.ErrFlow, "errflow")
+}
+
+// TestDetReach covers whole-program clock reachability: findings land
+// on the direct time.Now/rand call sites in every package reachable
+// from the stub roots (mobility trace emission, experiments figure
+// paths), cross-package and through interface dispatch, while
+// unreachable clock reads and the observe-only obs stub stay silent.
+func TestDetReach(t *testing.T) {
+	analysistest.Run(t, fixtures, lint.DetReach,
+		"detreach/mobility", "detreach/util", "detreach/experiments",
+		"detreach/geo", "detreach/obs")
+}
+
+// TestSpawnLeak covers the goroutine lifecycle contract: WaitGroup
+// handshakes, done-channel protocols, transitive drains and local
+// joins stay silent; unjoined spawns on Close-owning types are
+// reported.
+func TestSpawnLeak(t *testing.T) {
+	analysistest.Run(t, fixtures, lint.SpawnLeak, "spawnleak")
 }

@@ -8,26 +8,30 @@ import (
 	"locwatch/internal/lint/loader"
 )
 
-// loadBenchPackage loads one fixture package, outside the timed loop.
-func loadBenchPackage(b *testing.B, path string) *loader.Package {
+// loadBenchProgram loads one fixture package and builds the
+// whole-program view over it, outside the timed loop.
+func loadBenchProgram(b *testing.B, path string) (*lint.Program, *loader.Package) {
 	b.Helper()
-	pkg, err := loader.New(loader.SrcDir(fixtures)).Load(path)
+	ld := loader.New(loader.SrcDir(fixtures))
+	pkg, err := ld.Load(path)
 	if err != nil {
 		b.Fatalf("loading %s: %v", path, err)
 	}
-	return pkg
+	return lint.BuildProgram([]*loader.Package{pkg}, ld.Package), pkg
 }
 
 // benchAnalyzer times one flow-sensitive analyzer over its own fixture
 // package — the densest findings-per-line input it will ever see, so
-// these numbers bound the per-package cost on real code.
+// these numbers bound the per-package cost on real code. The program
+// (call graph + summaries) is prebuilt; callgraph's own bench_test
+// times that construction.
 func benchAnalyzer(b *testing.B, a *analysis.Analyzer, path string) {
 	b.Helper()
-	pkg := loadBenchPackage(b, path)
+	prog, pkg := loadBenchProgram(b, path)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := lint.RunPackage(pkg, a); err != nil {
+		if _, err := prog.RunPackage(pkg, a); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -36,17 +40,19 @@ func benchAnalyzer(b *testing.B, a *analysis.Analyzer, path string) {
 func BenchmarkNilFacade(b *testing.B)   { benchAnalyzer(b, lint.NilFacade, "nilfacade") }
 func BenchmarkErrFlow(b *testing.B)     { benchAnalyzer(b, lint.ErrFlow, "errflow") }
 func BenchmarkExhaustEnum(b *testing.B) { benchAnalyzer(b, lint.ExhaustEnum, "exhaustenum") }
+func BenchmarkDetReach(b *testing.B)    { benchAnalyzer(b, lint.DetReach, "detreach/mobility") }
+func BenchmarkSpawnLeak(b *testing.B)   { benchAnalyzer(b, lint.SpawnLeak, "spawnleak") }
 
-// BenchmarkSuite runs the whole eight-analyzer suite over one package,
-// the unit of work `make lint` pays once per package in the module.
+// BenchmarkSuite runs the whole analyzer suite over one package, the
+// unit of work `make lint` pays once per package in the module.
 func BenchmarkSuite(b *testing.B) {
-	pkg := loadBenchPackage(b, "nilfacade")
+	prog, pkg := loadBenchProgram(b, "nilfacade")
 	all := lint.All()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, a := range all {
-			if _, err := lint.RunPackage(pkg, a); err != nil {
+			if _, err := prog.RunPackage(pkg, a); err != nil {
 				b.Fatal(err)
 			}
 		}

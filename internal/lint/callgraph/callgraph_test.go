@@ -1,0 +1,159 @@
+package callgraph_test
+
+import (
+	"strings"
+	"testing"
+
+	"locwatch/internal/lint/callgraph"
+	"locwatch/internal/lint/loader"
+)
+
+// loadFixture builds the graph over the cg fixture and its obs dep.
+func loadFixture(t testing.TB) *callgraph.Graph {
+	t.Helper()
+	ld := loader.New(loader.SrcDir("testdata/src"))
+	pkg, err := ld.Load("cg")
+	if err != nil {
+		t.Fatalf("loading cg: %v", err)
+	}
+	obs := ld.Package("cg/obs")
+	if obs == nil {
+		t.Fatal("cg/obs was not loaded as a dependency")
+	}
+	return callgraph.Build([]*loader.Package{pkg, obs})
+}
+
+// node finds a graph node by fully qualified name suffix.
+func node(t testing.TB, g *callgraph.Graph, suffix string) *callgraph.Node {
+	t.Helper()
+	for _, n := range g.Nodes() {
+		if strings.HasSuffix(n.Name(), suffix) {
+			return n
+		}
+	}
+	t.Fatalf("no node with suffix %q in %s", suffix, g)
+	return nil
+}
+
+func callees(n *callgraph.Node) map[string]bool {
+	out := make(map[string]bool)
+	for _, e := range n.Out {
+		out[e.Callee.Name()] = true
+	}
+	return out
+}
+
+func TestStaticEdges(t *testing.T) {
+	g := loadFixture(t)
+	bNext := node(t, g, "B).Next")
+	if !callees(bNext)["cg.clockInt"] {
+		t.Errorf("(*B).Next callees = %v, want cg.clockInt", callees(bNext))
+	}
+	even := node(t, g, "cg.Even")
+	if !callees(even)["cg.Odd"] {
+		t.Errorf("Even callees = %v, want cg.Odd", callees(even))
+	}
+}
+
+func TestCHADispatch(t *testing.T) {
+	g := loadFixture(t)
+	drive := node(t, g, "cg.Drive")
+	got := callees(drive)
+	for _, want := range []string{"(cg.A).Next", "(*cg.B).Next"} {
+		found := false
+		for name := range got {
+			if strings.HasSuffix(name, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Drive callees = %v, want a %s target from CHA", got, want)
+		}
+	}
+	for _, e := range drive.Out {
+		if !e.Dynamic {
+			t.Errorf("Drive → %s resolved statically; interface dispatch must be dynamic", e.Callee.Name())
+		}
+	}
+}
+
+func TestExternalCalls(t *testing.T) {
+	g := loadFixture(t)
+	clock := node(t, g, "cg.clockInt")
+	found := false
+	for _, ext := range clock.External {
+		if ext.Fn.FullName() == "time.Now" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("clockInt externals lack time.Now: %v", clock.External)
+	}
+}
+
+func TestReferenceEdge(t *testing.T) {
+	g := loadFixture(t)
+	register := node(t, g, "cg.Register")
+	var ref *callgraph.Edge
+	for _, e := range register.Out {
+		if e.Callee.Name() == "cg.Even" {
+			ref = e
+		}
+	}
+	if ref == nil {
+		t.Fatal("Register has no edge to Even for the function-value reference")
+	}
+	if !ref.Dynamic {
+		t.Error("function-value reference edge must be dynamic")
+	}
+}
+
+func TestSCCOrder(t *testing.T) {
+	g := loadFixture(t)
+	even := node(t, g, "cg.Even")
+	odd := node(t, g, "cg.Odd")
+	clock := node(t, g, "cg.clockInt")
+	bNext := node(t, g, "B).Next")
+
+	sccOf := make(map[*callgraph.Node]int)
+	for i, scc := range g.SCCs() {
+		for _, n := range scc {
+			sccOf[n] = i
+		}
+	}
+	if sccOf[even] != sccOf[odd] {
+		t.Errorf("Even (scc %d) and Odd (scc %d) must share an SCC", sccOf[even], sccOf[odd])
+	}
+	if sccOf[clock] >= sccOf[bNext] {
+		t.Errorf("callee-first order violated: clockInt scc %d not before (*B).Next scc %d", sccOf[clock], sccOf[bNext])
+	}
+}
+
+func TestReachability(t *testing.T) {
+	g := loadFixture(t)
+	drive := node(t, g, "cg.Drive")
+	clock := node(t, g, "cg.clockInt")
+	even := node(t, g, "cg.Even")
+
+	reach := g.Reachable([]*callgraph.Node{drive})
+	if !reach[clock] {
+		t.Error("clockInt must be reachable from Drive through interface dispatch")
+	}
+	if reach[even] {
+		t.Error("Even must not be reachable from Drive")
+	}
+
+	rev := g.ReverseReachable([]*callgraph.Node{clock})
+	if !rev[drive] {
+		t.Error("Drive must reverse-reach clockInt")
+	}
+
+	path := g.PathFrom([]*callgraph.Node{drive}, clock)
+	if len(path) < 3 || path[0] != drive || path[len(path)-1] != clock {
+		names := make([]string, len(path))
+		for i, n := range path {
+			names[i] = n.Name()
+		}
+		t.Errorf("PathFrom(Drive, clockInt) = %v, want Drive → (*B).Next → clockInt", names)
+	}
+}

@@ -16,7 +16,6 @@ package lint
 import (
 	"fmt"
 	"go/ast"
-	"sort"
 	"strings"
 
 	"locwatch/internal/lint/analysis"
@@ -24,18 +23,23 @@ import (
 )
 
 // All returns the full analyzer suite in stable order: the five
-// syntactic analyzers from the first tier plus the flow-sensitive tier
-// (errflow, exhaustenum, nilfacade) built on internal/lint/cfg.
+// syntactic analyzers from the first tier, the flow-sensitive tier
+// (errflow, exhaustenum, nilfacade) built on internal/lint/cfg, and
+// the interprocedural tier (detreach, spawnleak, plus nilfacade's
+// summary-driven upgrade) built on internal/lint/callgraph and
+// internal/lint/summary.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		AngleUnits,
 		DetClock,
+		DetReach,
 		DurationSeconds,
 		ErrFlow,
 		ExhaustEnum,
 		LatLonBounds,
 		LockedMap,
 		NilFacade,
+		SpawnLeak,
 	}
 }
 
@@ -53,66 +57,13 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s [%s]", f.File, f.Line, f.Column, f.Message, f.Analyzer)
 }
 
-// RunPackage applies one analyzer to one package and returns its
-// findings with //lint:ignore directives already applied.
-func RunPackage(pkg *loader.Package, a *analysis.Analyzer) ([]Finding, error) {
-	var diags []analysis.Diagnostic
-	pass := &analysis.Pass{
-		Analyzer:  a,
-		Fset:      pkg.Fset,
-		Files:     pkg.Files,
-		Pkg:       pkg.Types,
-		TypesInfo: pkg.TypesInfo,
-		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
-	}
-	if err := a.Run(pass); err != nil {
-		return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
-	}
-	ignored := ignoreDirectives(pkg)
-	var out []Finding
-	for _, d := range diags {
-		pos := pkg.Fset.Position(d.Pos)
-		if ignored.matches(pos.Filename, pos.Line, a.Name) {
-			continue
-		}
-		out = append(out, Finding{
-			Analyzer: a.Name,
-			File:     pos.Filename,
-			Line:     pos.Line,
-			Column:   pos.Column,
-			Message:  d.Message,
-		})
-	}
-	return out, nil
-}
-
 // Run applies every analyzer to every package and returns the combined
-// findings sorted by position.
+// findings sorted by position. The whole-program view is built over the
+// given packages only; drivers that have a loader should prefer
+// BuildProgram with a lookup so dependency packages join the call
+// graph too.
 func Run(pkgs []*loader.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
-	var all []Finding
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			fs, err := RunPackage(pkg, a)
-			if err != nil {
-				return nil, err
-			}
-			all = append(all, fs...)
-		}
-	}
-	sort.Slice(all, func(i, j int) bool {
-		a, b := all[i], all[j]
-		if a.File != b.File {
-			return a.File < b.File
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		if a.Column != b.Column {
-			return a.Column < b.Column
-		}
-		return a.Analyzer < b.Analyzer
-	})
-	return all, nil
+	return BuildProgram(pkgs, nil).Run(analyzers)
 }
 
 // ignoreSet records, per file and line, the analyzer names suppressed

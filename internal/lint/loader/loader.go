@@ -128,6 +128,12 @@ func (l *Loader) Load(path string) (*Package, error) {
 	return pkg, nil
 }
 
+// Package returns the already-loaded package at the given import path,
+// or nil when no Load (direct or as a dependency of another Load) has
+// produced it. Whole-program passes use this to pull in the memoized
+// dependency closure without re-type-checking anything.
+func (l *Loader) Package(path string) *Package { return l.pkgs[path] }
+
 // importDep satisfies imports during type-checking: module-local paths
 // go through Load, everything else through the stdlib source importer.
 func (l *Loader) importDep(path string) (*types.Package, error) {

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"locwatch/internal/lint/analysis"
+	"locwatch/internal/lint/callgraph"
+	"locwatch/internal/lint/loader"
+	"locwatch/internal/lint/summary"
+)
+
+// Program is the whole-program view shared by one lint run: the
+// call graph and function summaries over the target packages plus
+// every module-local dependency the loader has already type-checked.
+// It is handed to each analyzer through analysis.Pass.Program, the
+// shim's stand-in for x/tools' Requires/ResultOf facts machinery. The
+// interprocedural analyzers (nilfacade, detreach, spawnleak) consult
+// it; the syntactic and CFG tiers ignore it.
+type Program struct {
+	// Targets are the packages findings are reported for. Dependency
+	// packages participate in the graph and summaries but are not
+	// linted themselves.
+	Targets []*loader.Package
+
+	Graph *callgraph.Graph
+	Sums  *summary.Set
+
+	// detreach state, computed lazily on first use and shared across
+	// the per-package passes of one run.
+	detReady bool
+	detRoots []*callgraph.Node
+	detReach map[*callgraph.Node]bool
+}
+
+// BuildProgram assembles a Program over targets. lookup resolves an
+// import path to an already-loaded package (typically
+// (*loader.Loader).Package) so the graph covers the module-local
+// dependency closure; a nil lookup restricts the graph to the targets
+// themselves.
+func BuildProgram(targets []*loader.Package, lookup func(importPath string) *loader.Package) *Program {
+	byPath := make(map[string]*loader.Package, len(targets))
+	queue := make([]*loader.Package, 0, len(targets))
+	for _, p := range targets {
+		if byPath[p.Path] == nil {
+			byPath[p.Path] = p
+			queue = append(queue, p)
+		}
+	}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		if lookup == nil {
+			break
+		}
+		for _, imp := range p.Types.Imports() {
+			if byPath[imp.Path()] != nil {
+				continue
+			}
+			if dep := lookup(imp.Path()); dep != nil {
+				byPath[imp.Path()] = dep
+				queue = append(queue, dep)
+			}
+		}
+	}
+	all := make([]*loader.Package, 0, len(byPath))
+	for _, p := range byPath {
+		all = append(all, p)
+	}
+	g := callgraph.Build(all)
+	return &Program{Targets: targets, Graph: g, Sums: summary.Compute(g)}
+}
+
+// RunPackage applies one analyzer to one package under this program's
+// whole-program view and returns its findings with //lint:ignore
+// directives already applied.
+func (p *Program) RunPackage(pkg *loader.Package, a *analysis.Analyzer) ([]Finding, error) {
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		Program:   p,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+	}
+	ignored := ignoreDirectives(pkg)
+	var out []Finding
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if ignored.matches(pos.Filename, pos.Line, a.Name) {
+			continue
+		}
+		out = append(out, Finding{
+			Analyzer: a.Name,
+			File:     pos.Filename,
+			Line:     pos.Line,
+			Column:   pos.Column,
+			Message:  d.Message,
+		})
+	}
+	return out, nil
+}
+
+// Run applies every analyzer to every target package and returns the
+// combined findings sorted by position.
+func (p *Program) Run(analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var all []Finding
+	for _, pkg := range p.Targets {
+		for _, a := range analyzers {
+			fs, err := p.RunPackage(pkg, a)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, fs...)
+		}
+	}
+	sortFindings(all)
+	return all, nil
+}
+
+func sortFindings(all []Finding) {
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// program extracts the *Program from a pass, or nil when the driver
+// supplied none (the analyzer should then degrade to a no-op or its
+// intraprocedural behavior).
+func program(pass *analysis.Pass) *Program {
+	p, _ := pass.Program.(*Program)
+	return p
+}

@@ -7,6 +7,27 @@ import (
 	"locwatch/internal/lint/loader"
 )
 
+// TestRegistryComplete pins the analyzer suite: the interprocedural
+// tier (detreach, spawnleak, the summary-driven nilfacade) must be
+// registered alongside the syntactic and flow-sensitive tiers, so
+// `locwatchlint ./...` and TestSuiteCleanOnRepo actually gate on them.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"angleunits", "detclock", "detreach", "durationseconds",
+		"errflow", "exhaustenum", "latlonbounds", "lockedmap",
+		"nilfacade", "spawnleak",
+	}
+	all := lint.All()
+	if len(all) != len(want) {
+		t.Fatalf("lint.All() returned %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("lint.All()[%d] = %s, want %s (suite must stay sorted)", i, a.Name, want[i])
+		}
+	}
+}
+
 // TestSuiteCleanOnRepo is the cmd/locwatchlint smoke test: the full
 // analyzer suite over every package of this module must report nothing,
 // which is exactly what `locwatchlint ./...` exiting 0 means. It

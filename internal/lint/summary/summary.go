@@ -1,0 +1,281 @@
+// Package summary computes bottom-up per-function facts over a
+// callgraph.Graph: may-return-nil (with the "nil only alongside a
+// non-nil error" correlation constructors promise), calls-wall-clock,
+// spawns-goroutine, mutates-receiver, and the WaitGroup/channel tokens
+// a goroutine join protocol is built from.
+//
+// The lattice is boolean and monotone (facts only flip false→true), so
+// one pass over the SCC condensation in callee-first order, iterating
+// each SCC to a local fixpoint, reaches the global fixpoint.
+//
+// Facts are deliberately optimistic where the program is opaque: a call
+// into an unanalyzed package is assumed to return non-nil and a
+// function parameter is assumed non-nil (the caller's analysis handles
+// its own locals). Clock facts stop at the observe-only `obs` boundary:
+// DESIGN §8 licenses obs to read the wall clock precisely because it
+// never changes emitted bits, so neither obs-internal clock reads nor
+// calls into obs taint callers.
+package summary
+
+import (
+	"go/ast"
+	"go/types"
+
+	"locwatch/internal/lint/callgraph"
+)
+
+// Facts is the summary of one function.
+type Facts struct {
+	// ResultMayNil has one entry per result of the signature; true
+	// means some path returns a possibly-nil value for that (pointer-
+	// typed) result. Non-pointer results are always false.
+	ResultMayNil []bool
+
+	// NilOnlyWithError reports that every path returning a may-nil
+	// pointer result also returns a non-nil error as the trailing
+	// result — the constructor contract callers rely on when they
+	// check err before using the pointer.
+	NilOnlyWithError bool
+
+	// CallsClock reports that the function transitively reads the wall
+	// clock or global (unseeded) randomness. ClockVia names one direct
+	// witness source for diagnostics, e.g. "time.Now" (set only on the
+	// function containing the direct call, not on transitive callers).
+	CallsClock bool
+	ClockVia   string
+
+	// Spawns reports that the function (or a closure inside it) starts
+	// a goroutine.
+	Spawns bool
+
+	// MutatesReceiver reports that a method assigns through its
+	// receiver, directly or by calling a mutating method on the same
+	// named type.
+	MutatesReceiver bool
+
+	// Tokens are the join-protocol operations in the function body:
+	// which WaitGroups it Waits on or Dones, which channels it closes
+	// or receives from. Variables are identified by *types.Var, so a
+	// struct field used from two methods matches.
+	Tokens Tokens
+}
+
+// Tokens records drain/join protocol operations by variable identity.
+type Tokens struct {
+	WgDone  []*types.Var // wg.Done() calls
+	WgWait  []*types.Var // wg.Wait() calls
+	ChClose []*types.Var // close(ch) calls
+	ChRecv  []*types.Var // <-ch or range ch receives
+}
+
+// Merge folds o's tokens into t (set union by variable identity).
+func (t *Tokens) Merge(o Tokens) {
+	t.WgDone = appendVars(t.WgDone, o.WgDone)
+	t.WgWait = appendVars(t.WgWait, o.WgWait)
+	t.ChClose = appendVars(t.ChClose, o.ChClose)
+	t.ChRecv = appendVars(t.ChRecv, o.ChRecv)
+}
+
+func appendVars(dst, src []*types.Var) []*types.Var {
+	for _, v := range src {
+		if !containsVar(dst, v) {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+func containsVar(vs []*types.Var, v *types.Var) bool {
+	for _, w := range vs {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Set holds the computed summaries for one graph.
+type Set struct {
+	Graph *callgraph.Graph
+	facts map[*callgraph.Node]*Facts
+}
+
+// Of returns the facts for fn, or nil when fn has no node in the
+// graph (external or unanalyzed).
+func (s *Set) Of(fn *types.Func) *Facts {
+	if fn == nil {
+		return nil
+	}
+	return s.facts[s.Graph.Node(fn.Origin())]
+}
+
+// OfNode returns the facts for a graph node.
+func (s *Set) OfNode(n *callgraph.Node) *Facts { return s.facts[n] }
+
+// ObserveOnly reports whether pkg is an observe-only instrumentation
+// package (DESIGN §8): clock facts neither originate in nor propagate
+// out of it. Matching is by package name so analysistest stubs work.
+func ObserveOnly(pkg *types.Package) bool {
+	return pkg != nil && pkg.Name() == "obs"
+}
+
+// ClockSource returns a display name ("time.Now", "math/rand.Intn")
+// when fn is a wall-clock or unseeded-randomness source, else "".
+// Seeded generators (rand.New, rand.NewSource, methods on *rand.Rand)
+// are not sources: the determinism contract is about ambient state.
+func ClockSource(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return "" // methods (e.g. (*rand.Rand).Intn, time.Time.Add) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			return "time." + fn.Name()
+		}
+	case "math/rand", "math/rand/v2":
+		// Global-state funcs only; constructors for seeded generators
+		// (New, NewSource, NewZipf…) are the sanctioned alternative.
+		if len(fn.Name()) < 3 || fn.Name()[:3] != "New" {
+			return fn.Pkg().Path() + "." + fn.Name()
+		}
+	case "crypto/rand":
+		return "crypto/rand." + fn.Name()
+	}
+	return ""
+}
+
+// Compute runs the summary pass over every node of g.
+func Compute(g *callgraph.Graph) *Set {
+	s := &Set{Graph: g, facts: make(map[*callgraph.Node]*Facts, len(g.Nodes()))}
+	c := &computer{set: s}
+	// Direct (local) facts first.
+	for _, n := range g.Nodes() {
+		s.facts[n] = c.directFacts(n)
+	}
+	// Then the bottom-up fixpoint over the condensation.
+	for _, scc := range g.SCCs() {
+		for changed := true; changed; {
+			changed = false
+			for _, n := range scc {
+				if c.propagate(n) {
+					changed = true
+				}
+			}
+		}
+	}
+	return s
+}
+
+type computer struct {
+	set *Set
+	// inProgress guards the variable classification in varMayNil
+	// against assignment cycles (p = q; q = p).
+	inProgress map[*types.Var]bool
+}
+
+// directFacts computes the facts visible in n's own body.
+func (c *computer) directFacts(n *callgraph.Node) *Facts {
+	f := &Facts{}
+	sig := n.Func.Type().(*types.Signature)
+	f.ResultMayNil = make([]bool, sig.Results().Len())
+
+	if !ObserveOnly(n.Func.Pkg()) {
+		for _, ext := range n.External {
+			if src := ClockSource(ext.Fn); src != "" && !f.CallsClock {
+				f.CallsClock = true
+				f.ClockVia = src
+			}
+		}
+	}
+	if n.Decl.Body == nil {
+		return f
+	}
+	info := n.Pkg.TypesInfo
+	var recv *types.Var
+	if sig.Recv() != nil && n.Decl.Recv != nil && len(n.Decl.Recv.List) == 1 && len(n.Decl.Recv.List[0].Names) == 1 {
+		recv, _ = info.Defs[n.Decl.Recv.List[0].Names[0]].(*types.Var)
+	}
+	ast.Inspect(n.Decl.Body, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.GoStmt:
+			f.Spawns = true
+		case *ast.AssignStmt:
+			if recv != nil {
+				for _, lhs := range m.Lhs {
+					if rootVar(info, lhs) == recv {
+						f.MutatesReceiver = true
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if recv != nil && rootVar(info, m.X) == recv {
+				f.MutatesReceiver = true
+			}
+		}
+		return true
+	})
+	f.Tokens = ScanTokens(info, n.Decl.Body)
+	return f
+}
+
+// propagate folds callee facts into n. Returns true when n changed.
+func (c *computer) propagate(n *callgraph.Node) bool {
+	f := c.set.facts[n]
+	changed := false
+	selfObs := ObserveOnly(n.Func.Pkg())
+	for _, e := range n.Out {
+		cf := c.set.facts[e.Callee]
+		if cf == nil {
+			continue
+		}
+		// Clock facts do not cross into or out of the obs boundary.
+		if cf.CallsClock && !f.CallsClock && !selfObs && !ObserveOnly(e.Callee.Func.Pkg()) {
+			f.CallsClock = true
+			changed = true
+		}
+		// Receiver mutation propagates across methods of one type:
+		// setX calling setY on the same receiver mutates too.
+		if cf.MutatesReceiver && !f.MutatesReceiver && sameReceiverType(n, e.Callee) {
+			f.MutatesReceiver = true
+			changed = true
+		}
+	}
+	if c.resultFacts(n, f) {
+		changed = true
+	}
+	return changed
+}
+
+func sameReceiverType(a, b *callgraph.Node) bool {
+	ra, rb := a.RecvName(), b.RecvName()
+	return ra != "" && ra == rb && a.Func.Pkg() == b.Func.Pkg()
+}
+
+// rootVar peels selector/index/star/paren chains down to the base
+// identifier's variable: p.wg → p, m[k].f → m, *p → p.
+func rootVar(info *types.Info, e ast.Expr) *types.Var {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			v, _ := info.Uses[x].(*types.Var)
+			if v == nil {
+				v, _ = info.Defs[x].(*types.Var)
+			}
+			return v
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,11 @@
+// Package obs is the observe-only boundary stub: its clock reads stay
+// inside the package.
+package obs
+
+import "time"
+
+var last time.Time
+
+func Note() {
+	last = time.Now()
+}

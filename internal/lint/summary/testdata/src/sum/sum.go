@@ -1,0 +1,105 @@
+// Package sum is the summary-pass unit-test fixture: clock taint and
+// its obs boundary, may-nil results and the error correlation, spawn
+// and drain tokens, and receiver mutation.
+package sum
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"sum/obs"
+)
+
+type T struct{ n int }
+
+// clockInt reads the wall clock directly.
+func clockInt() int {
+	return int(time.Now().Unix())
+}
+
+// viaClock is tainted transitively.
+func viaClock() int {
+	return clockInt() + 1
+}
+
+// globalRand uses ambient randomness.
+func globalRand() int {
+	return rand.Intn(7)
+}
+
+// seededRand uses an explicit generator — not a source.
+func seededRand(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(7)
+}
+
+// observed calls into the observe-only package: no taint.
+func observed() {
+	obs.Note()
+}
+
+// MaybeNil has a nil path; Wraps inherits it; Fresh never returns nil.
+func MaybeNil(ok bool) *T {
+	if !ok {
+		return nil
+	}
+	return &T{}
+}
+
+func Wraps(ok bool) *T {
+	return MaybeNil(ok)
+}
+
+func Fresh() *T {
+	return &T{}
+}
+
+// NewChecked returns nil only alongside a non-nil error.
+func NewChecked(ok bool) (*T, error) {
+	if !ok {
+		return nil, errors.New("sum: no")
+	}
+	return &T{}, nil
+}
+
+// Uncorrelated breaks the contract: nil pointer, nil error.
+func Uncorrelated() (*T, error) {
+	return nil, nil
+}
+
+// BareNamed returns the zero value of its named result.
+func BareNamed() (p *T) {
+	return
+}
+
+// Pool carries the spawn/drain tokens.
+type Pool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+}
+
+func NewPool() *Pool {
+	p := &Pool{tasks: make(chan func())}
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for task := range p.tasks {
+			task()
+		}
+	}()
+	return p
+}
+
+func (p *Pool) Close() {
+	close(p.tasks)
+	p.wg.Wait()
+}
+
+// setN mutates its receiver; bump does so only transitively.
+func (t *T) setN(n int) { t.n = n }
+
+func (t *T) bump() { t.setN(t.n + 1) }
+
+// get reads without mutating.
+func (t *T) get() int { return t.n }

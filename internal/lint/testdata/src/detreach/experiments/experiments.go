@@ -1,0 +1,53 @@
+// Package experiments stubs the figure-path roots, including a clock
+// read reached only through interface dispatch — the CHA case.
+package experiments
+
+import "time"
+
+type feed interface {
+	Next() int
+}
+
+type seededFeed struct {
+	state int
+}
+
+func (f *seededFeed) Next() int {
+	f.state = f.state*1664525 + 1013904223
+	return f.state
+}
+
+type wallFeed struct{}
+
+func (wallFeed) Next() int {
+	return int(time.Now().UnixNano()) // want `reachable from deterministic entry`
+}
+
+// Figure2 is a root (exported function in an experiments package); the
+// dynamic call f.Next() must resolve to every implementation.
+func Figure2(fs []feed) int {
+	total := 0
+	for _, f := range fs {
+		total += f.Next()
+	}
+	return total
+}
+
+// helper is unexported and therefore not a root itself, but it is
+// reachable from one.
+func helper(n int) time.Duration {
+	return sinceEpoch(n)
+}
+
+func sinceEpoch(n int) time.Duration {
+	return time.Since(time.Unix(int64(n), 0)) // want `reachable from deterministic entry`
+}
+
+type Lab struct {
+	rounds int
+}
+
+// Run is a root (exported Lab method).
+func (l *Lab) Run() time.Duration {
+	return helper(l.rounds)
+}

@@ -1,0 +1,11 @@
+// Package geo is a clean pure-math helper: reachable from the
+// deterministic roots, touching no ambient state.
+package geo
+
+func Distance(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d
+}

@@ -1,0 +1,13 @@
+// Package obs is the observe-only boundary stub (DESIGN §8): it reads
+// real time for instrumentation but changes no emitted bit, so neither
+// its own clock reads nor calls into it are detreach findings.
+package obs
+
+import "time"
+
+var last time.Time
+
+func Note(name string) {
+	_ = name
+	last = time.Now()
+}

@@ -1,0 +1,10 @@
+// Package util shows a cross-package finding: the clock read is two
+// hops from the root, in a package that never imports mobility.
+package util
+
+import "time"
+
+func Stamp(day int) time.Time {
+	base := time.Now() // want `reachable from deterministic entry`
+	return base.AddDate(0, 0, day)
+}

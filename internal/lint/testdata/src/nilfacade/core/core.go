@@ -40,3 +40,28 @@ func BuildProfile(n int) (*Profile, error) {
 	}
 	return &Profile{Visits: n}, nil
 }
+
+// Pick returns nil on empty input — a helper whose nil result only an
+// interprocedural analysis can see at the caller.
+func Pick(ps []*Profile) *Profile {
+	if len(ps) == 0 {
+		return nil
+	}
+	return ps[0]
+}
+
+// Fresh provably never returns nil.
+func Fresh() *Profile {
+	return &Profile{}
+}
+
+// NewLoggingDetector never returns a nil pointer, even on its error
+// paths — the regression shape for the deleted constructor-pattern
+// heuristic, which flagged any `d, _ :=` tuple on spelling alone.
+func NewLoggingDetector(strict bool) (*Detector, error) {
+	d := &Detector{}
+	if strict {
+		return d, errors.New("core: strict mode unavailable")
+	}
+	return d, nil
+}

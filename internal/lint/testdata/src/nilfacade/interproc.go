@@ -1,0 +1,84 @@
+// Interprocedural fixtures: nil facade pointers flowing out of
+// helpers — same-package, cross-package, and chained — plus the
+// regression pack for the deleted constructor-pattern heuristic,
+// which judged `d, _ := New…()` by spelling instead of by summary.
+package nilfacade
+
+import "nilfacade/core"
+
+// pickLocal is a same-package helper with a nil-returning path.
+func pickLocal(ps []*core.Profile) *core.Profile {
+	if len(ps) == 0 {
+		return nil
+	}
+	return ps[0]
+}
+
+// helperNilEscapes uses a helper's result without a guard.
+func helperNilEscapes(ps []*core.Profile) int {
+	p := pickLocal(ps)
+	return p.Visits // want `p may be nil at this field or method selection`
+}
+
+// helperNilGuarded guards the helper's result — silent.
+func helperNilGuarded(ps []*core.Profile) int {
+	p := pickLocal(ps)
+	if p == nil {
+		return 0
+	}
+	return p.Visits
+}
+
+// crossPackageNil: the nil-returning helper lives in another package.
+func crossPackageNil(ps []*core.Profile) int {
+	p := core.Pick(ps)
+	return p.Visits // want `p may be nil at this field or method selection`
+}
+
+// chained forwards pickLocal's may-nil result through a second hop.
+func chained(ps []*core.Profile) *core.Profile {
+	return pickLocal(ps)
+}
+
+func chainedUse(ps []*core.Profile) int {
+	p := chained(ps)
+	return p.Visits // want `p may be nil at this field or method selection`
+}
+
+// alwaysFresh: the helper provably never returns nil, so no guard is
+// demanded.
+func alwaysFresh() int {
+	p := core.Fresh()
+	return p.Visits
+}
+
+// discardedErrorNonNil is the heuristic-deletion regression: this
+// constructor never returns a nil pointer, so discarding its error is
+// nil-safe. The old `_`-discard heuristic flagged the Feed call.
+func discardedErrorNonNil() int {
+	d, _ := core.NewLoggingDetector(true)
+	d.Feed(1)
+	return 1
+}
+
+// derefInErrorArm dereferences inside the error arm — exactly the
+// path where the correlated constructor returns nil.
+func derefInErrorArm(p *core.Profile) int {
+	d, err := core.NewDetector(p)
+	if err != nil {
+		d.Feed(0) // want `d may be nil at this field or method selection`
+		return 0
+	}
+	d.Feed(1)
+	return 1
+}
+
+// bareNamed returns its zero-valued named result.
+func bareNamed() (p *core.Profile) {
+	return
+}
+
+func bareNamedUse() int {
+	p := bareNamed()
+	return p.Visits // want `p may be nil at this field or method selection`
+}

@@ -1,0 +1,174 @@
+// Fixtures for the spawnleak analyzer: goroutines launched on behalf
+// of a type with a Close/Shutdown method must be provably drained on
+// the close path (WaitGroup handshake, channel close/receive), or
+// joined locally by the spawning function itself.
+package spawnleak
+
+import (
+	"context"
+	"sync"
+)
+
+// Pool is the clean worker-pool shape (the experiments.Lab pattern):
+// workers range the task channel and Done the WaitGroup; Close closes
+// the channel and Waits.
+type Pool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+}
+
+func NewPool(workers int) *Pool {
+	p := &Pool{tasks: make(chan func(), workers)}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for task := range p.tasks {
+				task()
+			}
+		}()
+	}
+	return p
+}
+
+func (p *Pool) Close() {
+	close(p.tasks)
+	p.wg.Wait()
+}
+
+// Leaky spawns with no join protocol at all: nothing ties the
+// goroutine's lifetime to Close.
+type Leaky struct {
+	tasks chan func()
+}
+
+func NewLeaky() *Leaky {
+	l := &Leaky{tasks: make(chan func())}
+	go func() { // want `not provably drained`
+		for {
+			task, ok := <-l.tasks
+			if !ok {
+				return
+			}
+			task()
+		}
+	}()
+	return l
+}
+
+func (l *Leaky) Close() {
+	// Forgets to close(l.tasks): the worker blocks forever.
+}
+
+// HalfJoined has the worker side of the WaitGroup handshake but a
+// Close that never Waits.
+type HalfJoined struct {
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+func (h *HalfJoined) Start() {
+	h.wg.Add(1)
+	go func() { // want `not provably drained`
+		defer h.wg.Done()
+		<-h.stop
+	}()
+}
+
+func (h *HalfJoined) Close() {
+	// close(h.stop) is also missing; and h.wg.Wait() never happens.
+	_ = h.stop
+}
+
+// Server is the done-channel shape (the obs.Server pattern): the
+// goroutine closes done; Shutdown receives from it.
+type Server struct {
+	done chan struct{}
+}
+
+func (s *Server) Serve() {
+	go func() {
+		defer close(s.done)
+		run()
+	}()
+}
+
+func (s *Server) Shutdown(ctx context.Context) {
+	select {
+	case <-s.done:
+	case <-ctx.Done():
+	}
+}
+
+// Transitive drains on the close path count: Close delegates to a
+// helper that Waits.
+type Delegating struct {
+	work chan int
+	wg   sync.WaitGroup
+}
+
+func (d *Delegating) Start() {
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		for range d.work {
+		}
+	}()
+}
+
+func (d *Delegating) Close() {
+	d.drain()
+}
+
+func (d *Delegating) drain() {
+	close(d.work)
+	d.wg.Wait()
+}
+
+// LocalJoin fans out and joins before returning: the goroutines owe
+// the close path nothing.
+type LocalJoin struct {
+	done chan struct{}
+}
+
+func (l *LocalJoin) Run(jobs []func()) {
+	var wg sync.WaitGroup
+	for _, job := range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			job()
+		}()
+	}
+	wg.Wait()
+}
+
+func (l *LocalJoin) Close() {
+	close(l.done)
+}
+
+// NamedWorker spawns a named method instead of a literal; the callee's
+// summary supplies the join tokens.
+type NamedWorker struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+}
+
+func (n *NamedWorker) Start() {
+	n.wg.Add(1)
+	go n.loop()
+}
+
+func (n *NamedWorker) loop() {
+	defer n.wg.Done()
+	for task := range n.tasks {
+		task()
+	}
+}
+
+func (n *NamedWorker) Close() {
+	close(n.tasks)
+	n.wg.Wait()
+}
+
+func run() {}

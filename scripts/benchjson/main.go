@@ -1,4 +1,5 @@
-// Command benchjson runs the repository's root benchmark suite and
+// Command benchjson runs the repository's benchmark suites (the root
+// figure/ablation suite plus any extra packages named with -pkgs) and
 // records the ns/op trajectory as a JSON artifact (BENCH_<n>.json, one
 // per optimization PR). Each artifact holds a "before" and an "after"
 // column so the speedup of the change that introduced it stays
@@ -30,6 +31,7 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // Artifact is the schema of a BENCH_<n>.json file.
@@ -86,11 +88,12 @@ func run(args []string, stdout io.Writer) error {
 	input := fs.String("input", "", "parse this saved go-test output as the after column instead of running")
 	before := fs.String("before", "", "parse this saved go-test output as the before column")
 	keepBefore := fs.Bool("keep-before", false, "reuse the before column of the existing -out artifact")
+	pkgs := fs.String("pkgs", ".", "comma-separated packages whose benchmarks feed the after column")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	after, err := afterColumn(*input, *bench, *benchtime, *count)
+	after, err := afterColumn(*input, *bench, *benchtime, *count, splitPkgs(*pkgs))
 	if err != nil {
 		return err
 	}
@@ -138,20 +141,38 @@ func run(args []string, stdout io.Writer) error {
 }
 
 // afterColumn obtains the fresh measurements: either by parsing a
-// saved run, or by running the root benchmark suite.
-func afterColumn(input, bench, benchtime string, count int) (map[string]float64, error) {
+// saved run, or by running the benchmark suites of pkgs in one
+// `go test` invocation. Benchmark names must be unique across the
+// listed packages — parse keys on the bare name, so a collision would
+// silently keep only the faster of the two.
+func afterColumn(input, bench, benchtime string, count int, pkgs []string) (map[string]float64, error) {
 	if input != "" {
 		return parseFile(input)
 	}
 	// Benchmarks only (-run '^$'), verbose enough to parse.
-	cmd := exec.Command("go", "test", "-run", "^$",
-		"-bench", bench, "-benchtime", benchtime, "-count", strconv.Itoa(count), ".")
+	cmd := exec.Command("go", append([]string{"test", "-run", "^$",
+		"-bench", bench, "-benchtime", benchtime, "-count", strconv.Itoa(count)}, pkgs...)...)
 	cmd.Stderr = os.Stderr
 	outBuf, err := cmd.Output()
 	if err != nil {
 		return nil, fmt.Errorf("go test -bench: %w", err)
 	}
 	return parse(string(outBuf))
+}
+
+// splitPkgs parses the -pkgs value, dropping empty segments so a
+// trailing comma cannot turn into `go test ""`.
+func splitPkgs(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		out = []string{"."}
+	}
+	return out
 }
 
 // parseFile parses a saved `go test -bench` output file.

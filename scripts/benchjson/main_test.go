@@ -130,3 +130,21 @@ func TestKeepBeforeMissingArtifact(t *testing.T) {
 		t.Fatalf("fresh-branch artifact has before=%d speedup=%d entries", len(art.Before), len(art.Speedup))
 	}
 }
+
+func TestSplitPkgs(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{".", "."},
+		{".,./internal/lint/callgraph", ". ./internal/lint/callgraph"},
+		{" . , ./pkg ,", ". ./pkg"},
+		{"", "."},
+		{",,", "."},
+	}
+	for _, c := range cases {
+		if got := strings.Join(splitPkgs(c.in), " "); got != c.want {
+			t.Errorf("splitPkgs(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
