@@ -55,7 +55,8 @@ cover:
 # BENCH_*.json.
 bench:
 	$(GO) run ./scripts/benchjson -benchtime $(BENCHTIME) -keep-before \
-		-pkgs .,./internal/lint/callgraph -out $(BENCHOUT)
+		-pkgs .,./internal/lint,./internal/lint/callgraph,./internal/lint/summary \
+		-out $(BENCHOUT)
 
 # Ten-second fuzz passes over the three untrusted-input parsers:
 # market page scraping, dumpsys battery output, and PLT trace files.

@@ -9,7 +9,9 @@
 //
 // Flags:
 //
-//	-json         emit findings as a JSON array instead of text
+//	-format f     output format: text (default), json, or sarif
+//	              (SARIF 2.1.0 with witness paths as relatedLocations)
+//	-json         shorthand for -format json (kept for compatibility)
 //	-disable a,b  skip the named analyzers
 //	-list         print the analyzer suite and exit
 //	-graph s      instead of linting, dump the call-graph slice reachable
@@ -36,12 +38,21 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("locwatchlint: ")
 
-	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	format := flag.String("format", "text", "output format: text, json, or sarif")
+	jsonOut := flag.Bool("json", false, "shorthand for -format json")
 	disable := flag.String("disable", "", "comma-separated analyzer names to skip")
 	list := flag.Bool("list", false, "print the analyzer suite and exit")
 	graphRoot := flag.String("graph", "", "dump the call graph reachable from functions whose qualified name contains this substring, then exit")
 	graphFormat := flag.String("graph-format", "dot", "call-graph dump format: dot or json")
 	flag.Parse()
+
+	if *jsonOut {
+		*format = "json"
+	}
+	if *format != "text" && *format != "json" && *format != "sarif" {
+		log.Printf("unknown -format %q (want text, json, or sarif)", *format)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, a := range lint.All() {
@@ -96,7 +107,8 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *jsonOut {
+	switch *format {
+	case "json":
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if findings == nil {
@@ -106,7 +118,12 @@ func main() {
 			log.Print(err)
 			os.Exit(2)
 		}
-	} else {
+	case "sarif":
+		if err := writeSARIF(os.Stdout, root, analyzers, findings); err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
+	default:
 		for _, f := range findings {
 			fmt.Println(f)
 		}

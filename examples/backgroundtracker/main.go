@@ -46,7 +46,8 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("owner: %d fixes over %d days (home %s, work %s)\n",
-		full.Len(), cfg.Days, user.Home.Pos, user.Work.Pos)
+		full.Len(), cfg.Days,
+		locwatch.ScrubLatLon(user.Home.Pos), locwatch.ScrubLatLon(user.Work.Pos))
 
 	dev := locwatch.NewDevice(full.Points[0].T, full.Points[0].Pos)
 	cursor := 0

@@ -47,7 +47,8 @@ func main() {
 			tag = "  [sensitive]"
 		}
 		fmt.Printf("  place %2d at %s — %d visits, %s dwell%s\n",
-			place.ID, place.Pos, place.Visits, place.Dwell.Round(time.Minute), tag)
+			place.ID, locwatch.ScrubLatLon(place.Pos), place.Visits,
+			place.Dwell.Round(time.Minute), tag)
 	}
 
 	// An app accessing location in background every 30 seconds: how

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"locwatch/internal/privlog"
 	"locwatch/internal/stats"
 )
 
@@ -60,7 +61,10 @@ func NewAdversary(profiles []*Profile) (*Adversary, error) {
 			return nil, fmt.Errorf("core: nil profile at index %d", i)
 		}
 		if p.Anchor() != profiles[0].Anchor() {
-			return nil, fmt.Errorf("core: profile %d anchored at %v, want %v", i, p.Anchor(), profiles[0].Anchor())
+			// Anchors are home-scale coordinates; the error reports
+			// them at scrubbed precision only.
+			return nil, fmt.Errorf("core: profile %d anchored at %s, want %s",
+				i, privlog.ScrubLatLon(p.Anchor()), privlog.ScrubLatLon(profiles[0].Anchor()))
 		}
 	}
 	return &Adversary{

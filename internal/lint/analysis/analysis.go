@@ -54,6 +54,18 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 type Diagnostic struct {
 	Pos     token.Pos
 	Message string
+
+	// Related optionally carries the witness path of an
+	// interprocedural finding: the intermediate call sites the flow
+	// traverses on its way to the reported site. Drivers surface them
+	// as SARIF relatedLocations.
+	Related []RelatedPos
+}
+
+// RelatedPos is one secondary location of a diagnostic.
+type RelatedPos struct {
+	Pos     token.Pos
+	Message string
 }
 
 // Preorder walks every node of every file in depth-first preorder.

@@ -72,6 +72,17 @@ func TestDetReach(t *testing.T) {
 		"detreach/geo", "detreach/obs")
 }
 
+// TestPrivTaint covers the location-taint tier: direct sinks,
+// cross-package flows (reported at the caller that supplies the
+// coordinate, with a witness path), sanitizer and derivation
+// negatives, field sensitivity, the function-value call edge, and
+// //lint:ignore placement — a directive suppresses at the reporting
+// site only, so a helper cannot shield its callers.
+func TestPrivTaint(t *testing.T) {
+	analysistest.Run(t, fixtures, lint.PrivTaint,
+		"privtaint/app", "privtaint/report", "privtaint/trace")
+}
+
 // TestSpawnLeak covers the goroutine lifecycle contract: WaitGroup
 // handshakes, done-channel protocols, transitive drains and local
 // joins stay silent; unjoined spawns on Close-owning types are

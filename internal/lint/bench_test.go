@@ -42,6 +42,7 @@ func BenchmarkErrFlow(b *testing.B)     { benchAnalyzer(b, lint.ErrFlow, "errflo
 func BenchmarkExhaustEnum(b *testing.B) { benchAnalyzer(b, lint.ExhaustEnum, "exhaustenum") }
 func BenchmarkDetReach(b *testing.B)    { benchAnalyzer(b, lint.DetReach, "detreach/mobility") }
 func BenchmarkSpawnLeak(b *testing.B)   { benchAnalyzer(b, lint.SpawnLeak, "spawnleak") }
+func BenchmarkPrivTaint(b *testing.B)   { benchAnalyzer(b, lint.PrivTaint, "privtaint/app") }
 
 // BenchmarkSuite runs the whole analyzer suite over one package, the
 // unit of work `make lint` pays once per package in the module.

@@ -16,9 +16,14 @@
 // implements the interface. References to a function outside call
 // position (method values, funcs passed as arguments) add conservative
 // dynamic edges, so `runtime.SetFinalizer(l, (*Lab).Close)` keeps Close
-// reachable. Calls through plain function values and package
-// initialization are not modeled; see DESIGN.md §6 for the soundness
-// caveats.
+// reachable. A call through a plain function-typed value (`var f
+// func(); f()`, a func parameter, a stored callback) fans out to every
+// address-taken declared function whose signature matches the call —
+// the classic address-taken approximation, so `detreach` and
+// `privtaint` no longer lose the trail when a callback crosses a
+// function boundary. Package initialization (func values created in
+// package-level var declarations) remains unmodeled; see DESIGN.md §6
+// for the soundness caveats.
 package callgraph
 
 import (
@@ -98,6 +103,11 @@ type Graph struct {
 	named   []*types.Named // CHA universe: named non-interface types
 	chaMemo map[*types.Func][]*Node
 	sccs    [][]*Node
+
+	// addrTaken indexes the address-taken declared functions by their
+	// value signature (receiver stripped), the fan-out universe for
+	// calls through plain function-typed values.
+	addrTaken map[string][]*Node
 }
 
 // Build constructs the graph over the given packages. The set should
@@ -107,13 +117,24 @@ func Build(pkgs []*loader.Package) *Graph {
 	pkgs = append([]*loader.Package(nil), pkgs...)
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
 	g := &Graph{
-		Packages: pkgs,
-		nodes:    make(map[*types.Func]*Node),
-		byPkg:    make(map[*types.Package][]*Node),
-		chaMemo:  make(map[*types.Func][]*Node),
+		Packages:  pkgs,
+		nodes:     make(map[*types.Func]*Node),
+		byPkg:     make(map[*types.Package][]*Node),
+		chaMemo:   make(map[*types.Func][]*Node),
+		addrTaken: make(map[string][]*Node),
 	}
 	for _, pkg := range pkgs {
 		g.indexPackage(pkg)
+	}
+	// References first: the address-taken universe must be complete
+	// before any call through a function-typed value is resolved.
+	for _, n := range g.order {
+		g.collectRefs(n)
+	}
+	for targets := range g.addrTaken {
+		sort.Slice(g.addrTaken[targets], func(i, j int) bool {
+			return g.addrTaken[targets][i].Name() < g.addrTaken[targets][j].Name()
+		})
 	}
 	for _, n := range g.order {
 		g.resolveCalls(n)
@@ -169,9 +190,12 @@ func (g *Graph) indexPackage(pkg *loader.Package) {
 	}
 }
 
-// resolveCalls walks n's body — including nested function literals —
-// and adds edges for every call and function reference.
-func (g *Graph) resolveCalls(n *Node) {
+// collectRefs walks n's body and adds a dynamic edge for every
+// *types.Func used outside call position (method value, function
+// passed as argument): the value may run later, so reachability must
+// keep it. Referenced in-module functions also join the address-taken
+// universe that resolveCalls fans function-value calls out to.
+func (g *Graph) collectRefs(n *Node) {
 	if n.Decl.Body == nil {
 		return
 	}
@@ -185,27 +209,11 @@ func (g *Graph) resolveCalls(n *Node) {
 		if !ok {
 			return true
 		}
-		var id *ast.Ident
-		switch fun := unparen(call.Fun).(type) {
-		case *ast.Ident:
-			id = fun
-		case *ast.SelectorExpr:
-			id = fun.Sel
+		if id := calleeIdent(call); id != nil {
+			callFuns[id] = true
 		}
-		if id == nil {
-			return true
-		}
-		callFuns[id] = true
-		fn, _ := info.Uses[id].(*types.Func)
-		if fn == nil {
-			return true
-		}
-		g.addCall(n, fn, call.Pos())
 		return true
 	})
-	// Reference pass: a *types.Func used outside call position (method
-	// value, function passed as argument) may run later; add a dynamic
-	// edge so reachability stays sound.
 	ast.Inspect(n.Decl.Body, func(m ast.Node) bool {
 		id, ok := m.(*ast.Ident)
 		if !ok || callFuns[id] {
@@ -217,11 +225,92 @@ func (g *Graph) resolveCalls(n *Node) {
 		}
 		if callee := g.Node(fn); callee != nil {
 			g.addEdge(n, callee, id.Pos(), true)
+			g.takeAddress(callee)
 		} else {
 			n.External = append(n.External, ExternalCall{Fn: fn, Pos: id.Pos()})
 		}
 		return true
 	})
+}
+
+// resolveCalls walks n's body — including nested function literals —
+// and adds edges for every call: static, CHA interface dispatch, or
+// the address-taken fan-out for calls through function-typed values.
+func (g *Graph) resolveCalls(n *Node) {
+	if n.Decl.Body == nil {
+		return
+	}
+	info := n.Pkg.TypesInfo
+	ast.Inspect(n.Decl.Body, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id := calleeIdent(call); id != nil {
+			if fn, _ := info.Uses[id].(*types.Func); fn != nil {
+				g.addCall(n, fn, call.Pos())
+				return true
+			}
+		}
+		// Not a named function or method: a call through a function-
+		// typed value (`f()`, `s.cb()`, `fs[i]()`, `get()()`). Skip
+		// conversions and builtins, then fan out to every address-
+		// taken function matching the call's signature.
+		tv := info.Types[unparen(call.Fun)]
+		if tv.IsType() || tv.IsBuiltin() {
+			return true
+		}
+		sig, ok := tv.Type.Underlying().(*types.Signature)
+		if !ok {
+			return true
+		}
+		for _, callee := range g.addrTaken[valueSigKey(sig)] {
+			g.addEdge(n, callee, call.Pos(), true)
+		}
+		return true
+	})
+}
+
+// calleeIdent returns the identifier a call's Fun resolves through
+// (the ident itself or a selector's Sel), or nil for calls of computed
+// function values.
+func calleeIdent(call *ast.CallExpr) *ast.Ident {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun
+	case *ast.SelectorExpr:
+		return fun.Sel
+	}
+	return nil
+}
+
+// takeAddress records callee in the address-taken universe under its
+// value signature (receiver stripped: a method value's type has none).
+func (g *Graph) takeAddress(callee *Node) {
+	key := valueSigKey(callee.Func.Type().(*types.Signature))
+	for _, existing := range g.addrTaken[key] {
+		if existing == callee {
+			return
+		}
+	}
+	g.addrTaken[key] = append(g.addrTaken[key], callee)
+}
+
+// valueSigKey renders a signature as a comparison key: receiver
+// stripped (a method value's type has none) and parameters anonymized
+// (TypeString would otherwise keep declared names, and `func(n int)`
+// must match a call through a `func(int)` variable).
+func valueSigKey(sig *types.Signature) string {
+	return types.TypeString(types.NewSignatureType(nil, nil, nil,
+		anonTuple(sig.Params()), anonTuple(sig.Results()), sig.Variadic()), nil)
+}
+
+func anonTuple(t *types.Tuple) *types.Tuple {
+	vars := make([]*types.Var, t.Len())
+	for i := range vars {
+		vars[i] = types.NewVar(token.NoPos, nil, "", t.At(i).Type())
+	}
+	return types.NewTuple(vars...)
 }
 
 // addCall resolves one called *types.Func: interface methods fan out

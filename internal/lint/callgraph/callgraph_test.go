@@ -157,3 +157,24 @@ func TestReachability(t *testing.T) {
 		t.Errorf("PathFrom(Drive, clockInt) = %v, want Drive → (*B).Next → clockInt", names)
 	}
 }
+
+// TestFuncValueCall pins the address-taken fan-out: Apply calls its
+// func(int) bool parameter, so it gets a dynamic edge to Even (address-
+// taken by Register) but not to Odd (same signature, never referenced
+// as a value).
+func TestFuncValueCall(t *testing.T) {
+	g := loadFixture(t)
+	apply := node(t, g, "cg.Apply")
+	got := callees(apply)
+	if !got["cg.Even"] {
+		t.Errorf("Apply callees = %v, want cg.Even via address-taken fan-out", got)
+	}
+	if got["cg.Odd"] {
+		t.Errorf("Apply callees = %v: Odd is never address-taken and must not get an edge", got)
+	}
+	for _, e := range apply.Out {
+		if e.Callee.Name() == "cg.Even" && !e.Dynamic {
+			t.Error("func-value fan-out edge must be dynamic")
+		}
+	}
+}

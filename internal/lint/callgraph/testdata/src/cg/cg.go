@@ -123,3 +123,11 @@ func (a *A) bump() { a.setN(a.n + 1) }
 func Register() func(int) bool {
 	return Even
 }
+
+// Apply calls through a plain function-typed parameter: resolution
+// fans out to every address-taken function whose value signature
+// matches the call, so Even (referenced by Register) gets an edge
+// while Odd (never address-taken) does not.
+func Apply(f func(int) bool, n int) bool {
+	return f(n)
+}

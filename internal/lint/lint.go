@@ -25,9 +25,9 @@ import (
 // All returns the full analyzer suite in stable order: the five
 // syntactic analyzers from the first tier, the flow-sensitive tier
 // (errflow, exhaustenum, nilfacade) built on internal/lint/cfg, and
-// the interprocedural tier (detreach, spawnleak, plus nilfacade's
-// summary-driven upgrade) built on internal/lint/callgraph and
-// internal/lint/summary.
+// the interprocedural tier (detreach, privtaint, spawnleak, plus
+// nilfacade's summary-driven upgrade) built on internal/lint/callgraph
+// and internal/lint/summary.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		AngleUnits,
@@ -39,6 +39,7 @@ func All() []*analysis.Analyzer {
 		LatLonBounds,
 		LockedMap,
 		NilFacade,
+		PrivTaint,
 		SpawnLeak,
 	}
 }
@@ -50,6 +51,17 @@ type Finding struct {
 	Line     int    `json:"line"`
 	Column   int    `json:"column"`
 	Message  string `json:"message"`
+	// Related carries secondary positions explaining the finding —
+	// privtaint uses it for the hops of a source→sink witness path.
+	Related []RelatedFinding `json:"related,omitempty"`
+}
+
+// RelatedFinding is one secondary position attached to a Finding.
+type RelatedFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Message string `json:"message"`
 }
 
 // String renders the finding in the conventional file:line:col form.

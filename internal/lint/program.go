@@ -95,13 +95,23 @@ func (p *Program) RunPackage(pkg *loader.Package, a *analysis.Analyzer) ([]Findi
 		if ignored.matches(pos.Filename, pos.Line, a.Name) {
 			continue
 		}
-		out = append(out, Finding{
+		f := Finding{
 			Analyzer: a.Name,
 			File:     pos.Filename,
 			Line:     pos.Line,
 			Column:   pos.Column,
 			Message:  d.Message,
-		})
+		}
+		for _, r := range d.Related {
+			rp := pkg.Fset.Position(r.Pos)
+			f.Related = append(f.Related, RelatedFinding{
+				File:    rp.Filename,
+				Line:    rp.Line,
+				Column:  rp.Column,
+				Message: r.Message,
+			})
+		}
+		out = append(out, f)
 	}
 	return out, nil
 }

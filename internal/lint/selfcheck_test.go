@@ -8,14 +8,15 @@ import (
 )
 
 // TestRegistryComplete pins the analyzer suite: the interprocedural
-// tier (detreach, spawnleak, the summary-driven nilfacade) must be
-// registered alongside the syntactic and flow-sensitive tiers, so
-// `locwatchlint ./...` and TestSuiteCleanOnRepo actually gate on them.
+// tier (detreach, privtaint, spawnleak, the summary-driven nilfacade)
+// must be registered alongside the syntactic and flow-sensitive tiers,
+// so `locwatchlint ./...` and TestSuiteCleanOnRepo actually gate on
+// them.
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"angleunits", "detclock", "detreach", "durationseconds",
 		"errflow", "exhaustenum", "latlonbounds", "lockedmap",
-		"nilfacade", "spawnleak",
+		"nilfacade", "privtaint", "spawnleak",
 	}
 	all := lint.All()
 	if len(all) != len(want) {

@@ -58,6 +58,12 @@ type Facts struct {
 	// or receives from. Variables are identified by *types.Var, so a
 	// struct field used from two methods matches.
 	Tokens Tokens
+
+	// Loc is the location-taint summary (see taint.go): which results
+	// carry raw location data, which parameters feed escaping sinks,
+	// and the internally-sourced sink flows the privtaint analyzer
+	// reports.
+	Loc LocFacts
 }
 
 // Tokens records drain/join protocol operations by variable identity.
@@ -151,17 +157,27 @@ func ClockSource(fn *types.Func) string {
 // Compute runs the summary pass over every node of g.
 func Compute(g *callgraph.Graph) *Set {
 	s := &Set{Graph: g, facts: make(map[*callgraph.Node]*Facts, len(g.Nodes()))}
-	c := &computer{set: s}
+	c := &computer{set: s, locTypes: &locTypes{memo: make(map[types.Type]bool)}}
 	// Direct (local) facts first.
 	for _, n := range g.Nodes() {
 		s.facts[n] = c.directFacts(n)
 	}
-	// Then the bottom-up fixpoint over the condensation.
+	// Then the bottom-up fixpoints over the condensation: the boolean
+	// facts, then the location-taint lattice (independent lattices, so
+	// they converge separately; both are monotone).
 	for _, scc := range g.SCCs() {
 		for changed := true; changed; {
 			changed = false
 			for _, n := range scc {
 				if c.propagate(n) {
+					changed = true
+				}
+			}
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, n := range scc {
+				if c.locFlow(n) {
 					changed = true
 				}
 			}
@@ -175,6 +191,9 @@ type computer struct {
 	// inProgress guards the variable classification in varMayNil
 	// against assignment cycles (p = q; q = p).
 	inProgress map[*types.Var]bool
+	// locTypes memoizes the location-bearing type classification
+	// shared by every locEval (taint.go).
+	locTypes *locTypes
 }
 
 // directFacts computes the facts visible in n's own body.

@@ -1,0 +1,160 @@
+package summary_test
+
+import (
+	"strings"
+	"testing"
+
+	"locwatch/internal/lint/callgraph"
+	"locwatch/internal/lint/loader"
+	"locwatch/internal/lint/summary"
+)
+
+func loadTaintFixture(t *testing.T) *summary.Set {
+	t.Helper()
+	ld := loader.New(loader.SrcDir("testdata/src"))
+	pkg, err := ld.Load("taintfix")
+	if err != nil {
+		t.Fatalf("loading taintfix: %v", err)
+	}
+	pkgs := []*loader.Package{pkg}
+	for _, dep := range []string{"taintfix/geo", "taintfix/privlog", "taintfix/anonymize"} {
+		p := ld.Package(dep)
+		if p == nil {
+			t.Fatalf("%s was not loaded as a dependency", dep)
+		}
+		pkgs = append(pkgs, p)
+	}
+	g := callgraph.Build(pkgs)
+	return summary.Compute(g)
+}
+
+func TestParamSinks(t *testing.T) {
+	s := loadTaintFixture(t)
+	lp := facts(t, s, "taintfix.LogPoint").Loc
+	if len(lp.ParamSinks) != 1 || len(lp.ParamSinks[0]) != 1 {
+		t.Fatalf("LogPoint ParamSinks = %+v, want one flow on param 0", lp.ParamSinks)
+	}
+	if got := lp.ParamSinks[0][0].Sink; got != "fmt.Printf" {
+		t.Errorf("LogPoint sink = %q, want fmt.Printf", got)
+	}
+	if len(lp.Findings) != 0 {
+		t.Errorf("LogPoint has internal findings %+v, want none", lp.Findings)
+	}
+}
+
+func TestInternalSourceWitnessPath(t *testing.T) {
+	s := loadTaintFixture(t)
+	em := facts(t, s, "taintfix.Emit").Loc
+	if len(em.Findings) != 1 {
+		t.Fatalf("Emit Findings = %+v, want exactly one", em.Findings)
+	}
+	f := em.Findings[0]
+	if f.Sink != "fmt.Printf" {
+		t.Errorf("Emit finding sink = %q, want fmt.Printf", f.Sink)
+	}
+	path := f.PathString("taintfix.Emit")
+	for _, part := range []string{"taintfix.Emit", "taintfix.LogPoint", "fmt.Printf"} {
+		if !strings.Contains(path, part) {
+			t.Errorf("witness path %q missing %q", path, part)
+		}
+	}
+	if len(f.Via) != 1 || !strings.HasSuffix(f.Via[0].Name, "LogPoint") {
+		t.Errorf("Emit Via = %+v, want one LogPoint hop", f.Via)
+	}
+}
+
+func TestPackageVarIsInternalSource(t *testing.T) {
+	s := loadTaintFixture(t)
+	lb := facts(t, s, "taintfix.LogBase").Loc
+	if len(lb.Findings) != 1 || lb.Findings[0].Sink != "fmt.Println" {
+		t.Fatalf("LogBase Findings = %+v, want one fmt.Println flow", lb.Findings)
+	}
+}
+
+func TestResultOrigins(t *testing.T) {
+	s := loadTaintFixture(t)
+	an := facts(t, s, "taintfix.Anchor").Loc
+	if len(an.ResultOrigins) != 1 || an.ResultOrigins[0]&summary.ParamOrigin(0) == 0 {
+		t.Errorf("Anchor ResultOrigins = %v, want param-0 bit", an.ResultOrigins)
+	}
+	str := facts(t, s, "LatLon).String").Loc
+	if len(str.ResultOrigins) != 1 || str.ResultOrigins[0]&summary.ParamOrigin(0) == 0 {
+		t.Errorf("LatLon.String ResultOrigins = %v, want receiver bit", str.ResultOrigins)
+	}
+	desc := facts(t, s, "taintfix.Describe").Loc
+	if len(desc.ResultOrigins) != 1 || desc.ResultOrigins[0]&summary.ParamOrigin(0) == 0 {
+		t.Errorf("Describe ResultOrigins = %v, want param-0 bit (builder laundering)", desc.ResultOrigins)
+	}
+}
+
+func TestArithmeticKillsTaint(t *testing.T) {
+	s := loadTaintFixture(t)
+	d := facts(t, s, "taintfix.Distance").Loc
+	if len(d.ResultOrigins) != 1 || d.ResultOrigins[0] != 0 {
+		t.Errorf("Distance ResultOrigins = %v, want clean", d.ResultOrigins)
+	}
+	ld := facts(t, s, "taintfix.LogDistance").Loc
+	for p, flows := range ld.ParamSinks {
+		if len(flows) != 0 {
+			t.Errorf("LogDistance param %d has flows %+v, want none", p, flows)
+		}
+	}
+	if len(ld.Findings) != 0 {
+		t.Errorf("LogDistance Findings = %+v, want none", ld.Findings)
+	}
+}
+
+func TestSanitizersLaunder(t *testing.T) {
+	s := loadTaintFixture(t)
+	for _, fn := range []string{"taintfix.Scrubbed", "taintfix.LogCloaked", "taintfix.FailScrubbed"} {
+		loc := facts(t, s, fn).Loc
+		if len(loc.Findings) != 0 {
+			t.Errorf("%s Findings = %+v, want none", fn, loc.Findings)
+		}
+		for p, flows := range loc.ParamSinks {
+			if len(flows) != 0 {
+				t.Errorf("%s param %d flows = %+v, want none", fn, p, flows)
+			}
+		}
+	}
+	cl := facts(t, s, "taintfix.Cloaked").Loc
+	if len(cl.ResultOrigins) != 1 || cl.ResultOrigins[0] != 0 {
+		t.Errorf("Cloaked ResultOrigins = %v, want clean", cl.ResultOrigins)
+	}
+	fs := facts(t, s, "taintfix.FailScrubbed").Loc
+	if len(fs.ResultOrigins) != 1 || fs.ResultOrigins[0] != 0 {
+		t.Errorf("FailScrubbed ResultOrigins = %v, want clean", fs.ResultOrigins)
+	}
+}
+
+func TestFieldSensitivity(t *testing.T) {
+	s := loadTaintFixture(t)
+	cold := facts(t, s, "taintfix.FieldCold").Loc
+	if len(cold.ParamSinks[0]) != 0 {
+		t.Errorf("FieldCold (pt.T) flows = %+v, want none", cold.ParamSinks[0])
+	}
+	hot := facts(t, s, "taintfix.FieldHot").Loc
+	if len(hot.ParamSinks[0]) != 1 || hot.ParamSinks[0][0].Sink != "fmt.Printf" {
+		t.Errorf("FieldHot (pt.Pos) flows = %+v, want one fmt.Printf", hot.ParamSinks[0])
+	}
+}
+
+func TestBuilderLaundering(t *testing.T) {
+	s := loadTaintFixture(t)
+	desc := facts(t, s, "taintfix.Describe").Loc
+	if len(desc.Findings) != 0 {
+		t.Errorf("Describe Findings = %+v, want none (Fprintf to builder is not a sink)", desc.Findings)
+	}
+	logd := facts(t, s, "taintfix.LogDescribed").Loc
+	if len(logd.ParamSinks[0]) != 1 || logd.ParamSinks[0][0].Sink != "fmt.Println" {
+		t.Errorf("LogDescribed flows = %+v, want the builder-carried coordinate to reach fmt.Println", logd.ParamSinks[0])
+	}
+}
+
+func TestErrorfIsSink(t *testing.T) {
+	s := loadTaintFixture(t)
+	ff := facts(t, s, "taintfix.FailFix").Loc
+	if len(ff.ParamSinks[0]) != 1 || ff.ParamSinks[0][0].Sink != "fmt.Errorf" {
+		t.Errorf("FailFix flows = %+v, want one fmt.Errorf", ff.ParamSinks[0])
+	}
+}

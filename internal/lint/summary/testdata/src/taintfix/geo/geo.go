@@ -1,0 +1,16 @@
+// Package geo is the location-type stub for the taint fixture: the
+// engine classifies location-bearing types by package name, so these
+// mirror locwatch/internal/geo.
+package geo
+
+import "fmt"
+
+type LatLon struct{ Lat, Lon float64 }
+
+type BoundingBox struct{ MinLat, MinLon, MaxLat, MaxLon float64 }
+
+// String formats the raw coordinates: the receiver's taint must flow
+// to the result (fmt.Sprintf is a propagator, not a sink).
+func (p LatLon) String() string {
+	return fmt.Sprintf("(%.6f, %.6f)", p.Lat, p.Lon)
+}

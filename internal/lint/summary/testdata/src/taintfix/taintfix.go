@@ -1,0 +1,108 @@
+// Package taintfix exercises the location-taint summary lattice:
+// parameter sinks, internal sources with witness paths, sanitizer
+// boundaries, field sensitivity, the arithmetic-kills-taint rule, and
+// string-builder laundering.
+package taintfix
+
+import (
+	"fmt"
+	"strings"
+
+	"taintfix/anonymize"
+	"taintfix/geo"
+	"taintfix/privlog"
+)
+
+// Point mirrors trace.Point: a struct carrying a location field plus
+// cold metadata.
+type Point struct {
+	Pos geo.LatLon
+	T   int64
+}
+
+// base is package-scope location state: reading it is an internal
+// source.
+var base = geo.LatLon{Lat: 47.6, Lon: -122.3}
+
+// LogPoint is a parameter sink: p (origin bit 0) escapes through
+// fmt.Printf.
+func LogPoint(p geo.LatLon) {
+	fmt.Printf("at %v\n", p)
+}
+
+// Emit is an internal source reaching a sink through a helper: the
+// witness path must be Emit → LogPoint → fmt.Printf.
+func Emit() {
+	home := geo.LatLon{Lat: 47.6, Lon: -122.3}
+	LogPoint(home)
+}
+
+// LogBase sinks package-scope location state directly.
+func LogBase() {
+	fmt.Println(base)
+}
+
+// Anchor forwards its parameter's location into the result.
+func Anchor(pt Point) geo.LatLon { return pt.Pos }
+
+// Distance is pure derivation: numeric arithmetic kills the taint.
+func Distance(a, b geo.LatLon) float64 {
+	return (a.Lat-b.Lat)*(a.Lat-b.Lat) + (a.Lon-b.Lon)*(a.Lon-b.Lon)
+}
+
+// LogDistance prints a derived scalar — clean.
+func LogDistance(a, b geo.LatLon) {
+	fmt.Printf("d=%f\n", Distance(a, b))
+}
+
+// Scrubbed routes the coordinate through the privlog sanitizer before
+// printing — clean.
+func Scrubbed(p geo.LatLon) {
+	fmt.Println(privlog.Sprintf("at %v", p))
+}
+
+// Cloaked returns the anonymize boundary's output — clean result.
+func Cloaked(p geo.LatLon) geo.LatLon {
+	return anonymize.Cloak(p)
+}
+
+// LogCloaked prints a cloaked coordinate — clean.
+func LogCloaked(p geo.LatLon) {
+	fmt.Println(Cloaked(p))
+}
+
+// FieldCold prints only the timestamp field — field sensitivity must
+// keep this clean.
+func FieldCold(pt Point) {
+	fmt.Printf("t=%d\n", pt.T)
+}
+
+// FieldHot prints the location field — tainted.
+func FieldHot(pt Point) {
+	fmt.Printf("pos=%v\n", pt.Pos)
+}
+
+// Describe builds a string carrying the coordinate: Fprintf into a
+// strings.Builder is not a sink, but the builder (and so the result)
+// is tainted.
+func Describe(pt Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "at %v", pt.Pos)
+	return b.String()
+}
+
+// LogDescribed sinks Describe's tainted result.
+func LogDescribed(pt Point) {
+	fmt.Println(Describe(pt))
+}
+
+// FailFix wraps the raw coordinate into an error — fmt.Errorf is a
+// sink.
+func FailFix(p geo.LatLon) error {
+	return fmt.Errorf("rejected fix at %v", p)
+}
+
+// FailScrubbed builds the error through the sanitizer — clean.
+func FailScrubbed(p geo.LatLon) error {
+	return privlog.Errorf("rejected fix at %v", p)
+}

@@ -51,3 +51,18 @@ type Lab struct {
 func (l *Lab) Run() time.Duration {
 	return helper(l.rounds)
 }
+
+// FigureCallback is a root that invokes a caller-supplied callback
+// through a plain function-typed parameter. Before the address-taken
+// fan-out the call had no edge, so jitterSample below escaped
+// detreach; the fixture pins the regression.
+func FigureCallback(f func() int) int {
+	return f()
+}
+
+// coldRegistry is unreachable from any root, but referencing
+// jitterSample puts it in the address-taken universe — which is all
+// the FigureCallback fan-out needs.
+func coldRegistry() func() int {
+	return jitterSample
+}

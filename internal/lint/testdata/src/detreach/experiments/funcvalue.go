@@ -1,0 +1,10 @@
+package experiments
+
+import "math/rand"
+
+// jitterSample reads ambient randomness. It is only ever called
+// through a function value handed to FigureCallback, the shape the
+// call graph used to have no edge for.
+func jitterSample() int {
+	return rand.Intn(7) // want `reachable from deterministic entry`
+}

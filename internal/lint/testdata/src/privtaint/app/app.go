@@ -1,0 +1,106 @@
+// Package app holds the privtaint fixture shapes: direct sinks,
+// cross-package flows with witness paths, sanitizer negatives, field
+// sensitivity, the function-value call edge, and ignore-directive
+// placement.
+package app
+
+import (
+	"fmt"
+
+	"privtaint/geo"
+	"privtaint/geoidx"
+	"privtaint/privlog"
+	"privtaint/report"
+	"privtaint/trace"
+)
+
+// direct: a location literal straight into a local sink.
+func direct() {
+	fix := geo.LatLon{Lat: 47.6, Lon: -122.3}
+	fmt.Printf("fix at %v\n", fix) // want `raw location data reaches fmt\.Printf`
+}
+
+// wrapped: a coordinate baked into an error.
+func wrapped() error {
+	anchor := geo.LatLon{Lat: 9, Lon: 9}
+	return fmt.Errorf("bad anchor %v", anchor) // want `raw location data reaches fmt\.Errorf`
+}
+
+// crossPackage: the sink lives in privtaint/report, the source here —
+// the finding lands on the call and quotes the witness path.
+func crossPackage() {
+	report.Dump(geo.LatLon{Lat: 5, Lon: 6}) // want `raw location data reaches fmt\.Printf \(flow: .*report\.Dump.*\)`
+}
+
+// helperIgnoreDoesNotShield: the helper's own //lint:ignore on its
+// sink line must not hide the caller-side finding.
+func helperIgnoreDoesNotShield() {
+	report.DumpIgnored(geo.LatLon{Lat: 5, Lon: 6}) // want `raw location data reaches fmt\.Printf`
+}
+
+// scrubbed: the sanitizer boundary launders the taint — silent.
+func scrubbed() {
+	home := geo.LatLon{Lat: 1, Lon: 2}
+	fmt.Println(privlog.Sprintf("home %v", home))
+}
+
+// scrubbedErr: categorized error construction through the boundary —
+// silent.
+func scrubbedErr() error {
+	home := geo.LatLon{Lat: 1, Lon: 2}
+	return privlog.Errorf("rejected %v", home)
+}
+
+// quantized: the paper's own region quantization is clean — silent.
+func quantized() {
+	home := geo.LatLon{Lat: 1, Lon: 2}
+	fmt.Println(geoidx.RegionID(home))
+}
+
+// derived: numeric arithmetic is derivation, not disclosure — silent.
+func derived() {
+	a := geo.LatLon{Lat: 1, Lon: 2}
+	b := geo.LatLon{Lat: 3, Lon: 4}
+	fmt.Printf("dlat=%f\n", a.Lat-b.Lat)
+}
+
+// fieldLeak: field sensitivity — the cold timestamp is silent, the hot
+// position field flags.
+func fieldLeak() {
+	pt := trace.Point{Pos: geo.LatLon{Lat: 1, Lon: 2}, T: 7}
+	fmt.Printf("t=%d\n", pt.T)
+	fmt.Printf("pos=%v\n", pt.Pos) // want `raw location data reaches fmt\.Printf`
+}
+
+// logFix is a parameter sink used through a function value below; as a
+// helper it stays silent.
+func logFix(p geo.LatLon) {
+	fmt.Printf("%v\n", p)
+}
+
+// viaValue: the call goes through a plain function-typed variable, so
+// the flow needs the call graph's address-taken fan-out edge.
+func viaValue() {
+	f := logFix
+	f(geo.LatLon{Lat: 1, Lon: 2}) // want `raw location data reaches fmt\.Printf \(flow: .*logFix.*\)`
+}
+
+// suppressed: an ignore directive on the reporting line silences the
+// finding.
+func suppressed() {
+	plot := geo.LatLon{Lat: 1, Lon: 2}
+	//lint:ignore privtaint the released artifact is the product here
+	fmt.Printf("artifact at %v\n", plot)
+}
+
+var _ = direct
+var _ = wrapped
+var _ = crossPackage
+var _ = helperIgnoreDoesNotShield
+var _ = scrubbed
+var _ = scrubbedErr
+var _ = quantized
+var _ = derived
+var _ = fieldLeak
+var _ = viaValue
+var _ = suppressed

@@ -1,0 +1,15 @@
+// Package geo stubs the location types the taint engine roots its
+// classification at (matched by package name).
+package geo
+
+import "fmt"
+
+type LatLon struct{ Lat, Lon float64 }
+
+type BoundingBox struct{ MinLat, MinLon, MaxLat, MaxLon float64 }
+
+// String propagates the receiver's taint into the result; Sprintf is
+// not a sink.
+func (p LatLon) String() string {
+	return fmt.Sprintf("(%.6f, %.6f)", p.Lat, p.Lon)
+}

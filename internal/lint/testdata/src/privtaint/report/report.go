@@ -1,0 +1,26 @@
+// Package report is the cross-package helper of the privtaint
+// fixtures: its sinks are parameter-fed, so the findings belong to the
+// callers that supply the coordinates — this package itself must stay
+// silent, even under the ignore directive below that callers must NOT
+// be able to hide behind.
+package report
+
+import (
+	"fmt"
+
+	"privtaint/geo"
+)
+
+// Dump prints the raw coordinate it is handed. No finding here: the
+// taint arrives through p, and privtaint charges the caller.
+func Dump(p geo.LatLon) {
+	fmt.Printf("dump %v\n", p)
+}
+
+// DumpIgnored carries an ignore directive on the helper's sink line.
+// The directive is a no-op — there is no finding at this line — and it
+// must not suppress the caller-side finding either (see app.go).
+func DumpIgnored(p geo.LatLon) {
+	//lint:ignore privtaint helper-side directive must not shield callers
+	fmt.Printf("dump %v\n", p)
+}

@@ -1,0 +1,10 @@
+// Package trace stubs the fix struct for the field-sensitivity shape:
+// Pos is hot, T is cold.
+package trace
+
+import "privtaint/geo"
+
+type Point struct {
+	Pos geo.LatLon
+	T   int64
+}

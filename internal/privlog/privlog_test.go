@@ -1,0 +1,191 @@
+package privlog_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"locwatch/internal/geo"
+	"locwatch/internal/privlog"
+	"locwatch/internal/trace"
+)
+
+// rawCoord is a full-precision coordinate string that must never
+// appear in any privlog output.
+const rawLat, rawLon = 47.620493, -122.349281
+
+func rawPoint() geo.LatLon { return geo.LatLon{Lat: rawLat, Lon: rawLon} }
+
+// assertScrubbed fails when s contains the raw coordinate at full
+// precision.
+func assertScrubbed(t *testing.T, s string) {
+	t.Helper()
+	for _, frag := range []string{"47.620493", "122.349281", "47.6204", "122.3492"} {
+		if strings.Contains(s, frag) {
+			t.Fatalf("output %q leaks raw coordinate fragment %q", s, frag)
+		}
+	}
+}
+
+func TestScrubLatLonQuantizes(t *testing.T) {
+	got := privlog.ScrubLatLon(rawPoint())
+	assertScrubbed(t, got)
+	if want := "≈(47.62, -122.35)"; got != want {
+		t.Fatalf("ScrubLatLon = %q, want %q", got, want)
+	}
+}
+
+func TestScrubLatLonPrecisionClamps(t *testing.T) {
+	if got := privlog.ScrubLatLonPrecision(rawPoint(), -3); got != "≈(48, -122)" {
+		t.Fatalf("decimals<0 = %q, want degree-rounded", got)
+	}
+	// 9 decimals clamps to 4 (~11 m), never full precision.
+	assertScrubbed(t, privlog.ScrubLatLonPrecision(rawPoint(), 9))
+}
+
+func TestScrubDispatch(t *testing.T) {
+	pt := trace.Point{Pos: rawPoint(), T: time.Date(2017, 6, 5, 12, 0, 0, 0, time.UTC)}
+	box := geo.BoundingBox{MinLat: rawLat, MinLon: rawLon, MaxLat: rawLat + 0.5, MaxLon: rawLon + 0.5}
+	for _, v := range []any{rawPoint(), &geo.LatLon{Lat: rawLat, Lon: rawLon}, pt, box, []trace.Point{pt, pt}} {
+		assertScrubbed(t, fmt.Sprint(privlog.Scrub(v)))
+	}
+	// Non-location values pass through untouched.
+	if got := privlog.Scrub(42); got != 42 {
+		t.Fatalf("Scrub(42) = %v, want 42", got)
+	}
+	if got := privlog.Scrub("hello"); got != "hello" {
+		t.Fatalf("Scrub(string) = %v", got)
+	}
+	var nilPtr *geo.LatLon
+	if got := fmt.Sprint(privlog.Scrub(nilPtr)); got != "≈(nil)" {
+		t.Fatalf("Scrub(nil *LatLon) = %q", got)
+	}
+}
+
+type scrubbable struct{ id int }
+
+func (s scrubbable) ScrubLocation() string { return fmt.Sprintf("place#%d", s.id) }
+
+func TestScrubberInterfaceWins(t *testing.T) {
+	if got := fmt.Sprint(privlog.Scrub(scrubbable{id: 7})); got != "place#7" {
+		t.Fatalf("Scrub(LocationScrubber) = %q", got)
+	}
+}
+
+func TestErrorfScrubsArgs(t *testing.T) {
+	err := privlog.Errorf(privlog.CategorySim, "fix at %v rejected", rawPoint())
+	assertScrubbed(t, err.Error())
+	if !strings.Contains(err.Error(), "[sim]") {
+		t.Fatalf("error %q missing category tag", err)
+	}
+}
+
+func TestBuilderChain(t *testing.T) {
+	cause := errors.New("short read")
+	err := privlog.New(cause).
+		Component("poi").
+		Category(privlog.CategoryIO).
+		Context("user", 12).
+		Context("stay", rawPoint()).
+		Build()
+
+	s := err.Error()
+	assertScrubbed(t, s)
+	for _, want := range []string{"poi:", "short read", "[io", "user=12", "stay=≈(47.62, -122.35)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("error %q missing %q", s, want)
+		}
+	}
+	if !privlog.Is(err, cause) {
+		t.Error("privlog.Is lost the wrapped cause")
+	}
+	var pe *privlog.Error
+	if !privlog.As(err, &pe) {
+		t.Fatal("privlog.As failed")
+	}
+	if pe.Component() != "poi" || pe.Category() != privlog.CategoryIO {
+		t.Errorf("component/category = %q/%v", pe.Component(), pe.Category())
+	}
+	if v, ok := pe.Context("stay"); !ok || !strings.HasPrefix(v, "≈(") {
+		t.Errorf("Context(stay) = %q, %v", v, ok)
+	}
+	if _, ok := pe.Context("absent"); ok {
+		t.Error("Context(absent) reported ok")
+	}
+	if privlog.Unwrap(err) != cause {
+		t.Error("Unwrap did not return the cause")
+	}
+}
+
+func TestCategoryOf(t *testing.T) {
+	err := privlog.Errorf(privlog.CategoryParse, "bad line")
+	wrapped := fmt.Errorf("outer: %w", err)
+	if c, ok := privlog.CategoryOf(wrapped); !ok || c != privlog.CategoryParse {
+		t.Fatalf("CategoryOf = %v, %v", c, ok)
+	}
+	if _, ok := privlog.CategoryOf(errors.New("plain")); ok {
+		t.Fatal("CategoryOf(plain) reported ok")
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	cases := map[privlog.Category]string{
+		privlog.CategoryInternal: "internal",
+		privlog.CategoryConfig:   "config",
+		privlog.CategoryParse:    "parse",
+		privlog.CategoryIO:       "io",
+		privlog.CategoryNetwork:  "network",
+		privlog.CategorySim:      "sim",
+		privlog.Category(99):     "Category(99)",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("Category(%d).String() = %q, want %q", int(c), got, want)
+		}
+	}
+}
+
+func TestLoggerScrubs(t *testing.T) {
+	var buf bytes.Buffer
+	l := privlog.NewLogger("mobility", &buf)
+	l.Printf(privlog.CategorySim, "user %d parked at %v", 3, rawPoint())
+	out := buf.String()
+	assertScrubbed(t, out)
+	for _, want := range []string{"mobility [sim]", "user 3", "≈(47.62, -122.35)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log line %q missing %q", out, want)
+		}
+	}
+}
+
+func TestNilLoggerIsNoop(t *testing.T) {
+	var l *privlog.Logger
+	l.Printf(privlog.CategoryIO, "must not panic %v", rawPoint())
+}
+
+func TestNewLoggerNilWriterUsesDefault(t *testing.T) {
+	l := privlog.NewLogger("x", nil)
+	if l == nil {
+		t.Fatal("NewLogger(nil) returned nil")
+	}
+}
+
+func TestSprintfScrubs(t *testing.T) {
+	s := privlog.Sprintf("home %v work %v n=%d", rawPoint(), rawPoint(), 2)
+	assertScrubbed(t, s)
+	if !strings.Contains(s, "n=2") {
+		t.Errorf("Sprintf dropped clean args: %q", s)
+	}
+}
+
+func TestScrubBoxRendersSpanNotCorners(t *testing.T) {
+	b := geo.BoundingBox{MinLat: rawLat, MinLon: rawLon, MaxLat: rawLat + 0.2, MaxLon: rawLon + 0.2}
+	s := privlog.ScrubBox(b)
+	assertScrubbed(t, s)
+	if !strings.Contains(s, "0.20°") {
+		t.Errorf("ScrubBox %q missing span", s)
+	}
+}

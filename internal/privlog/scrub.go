@@ -1,0 +1,122 @@
+package privlog
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"math"
+
+	"locwatch/internal/geo"
+	"locwatch/internal/trace"
+)
+
+// ScrubDecimals is the default coordinate precision retained by Scrub:
+// two decimal places of a degree, about 1.1 km of latitude — the same
+// order as the cloaking cells the anonymize baselines release, and far
+// coarser than the 50 m stay-point radius the paper's adversary needs.
+const ScrubDecimals = 2
+
+// LocationScrubber lets a type outside this package's import reach
+// (poi.StayPoint, mobility venues) declare its own redacted rendering.
+// Scrub calls it in preference to the built-in rules.
+type LocationScrubber interface {
+	ScrubLocation() string
+}
+
+// Scrub returns a redaction-safe stand-in for v: location-bearing
+// values become precision-bounded strings, everything else passes
+// through unchanged. It is the single choke point ScrubArgs, Context
+// and the Logger all route values through.
+func Scrub(v any) any {
+	switch x := v.(type) {
+	case LocationScrubber:
+		return x.ScrubLocation()
+	case geo.LatLon:
+		return ScrubLatLon(x)
+	case *geo.LatLon:
+		if x == nil {
+			return "≈(nil)"
+		}
+		return ScrubLatLon(*x)
+	case geo.BoundingBox:
+		return ScrubBox(x)
+	case trace.Point:
+		return fmt.Sprintf("%s@%s", ScrubLatLon(x.Pos), x.T.Format("2006-01-02T15:04:05Z07:00"))
+	case []trace.Point:
+		return fmt.Sprintf("[%d fixes]", len(x))
+	default:
+		return v
+	}
+}
+
+// ScrubArgs returns a copy of args with every location-bearing value
+// replaced by its scrubbed form. The original slice is not modified.
+func ScrubArgs(args []any) []any {
+	out := make([]any, len(args))
+	for i, a := range args {
+		out[i] = Scrub(a)
+	}
+	return out
+}
+
+// ScrubLatLon renders p quantized to ScrubDecimals decimal places,
+// marked with ≈ so a redacted coordinate is never mistaken for a raw
+// one.
+func ScrubLatLon(p geo.LatLon) string {
+	return ScrubLatLonPrecision(p, ScrubDecimals)
+}
+
+// ScrubLatLonPrecision renders p quantized to the given number of
+// decimal places (clamped to [0, 4]; 4 decimals ≈ 11 m is the finest
+// this package will ever emit, still coarser than a raw fix).
+func ScrubLatLonPrecision(p geo.LatLon, decimals int) string {
+	if decimals < 0 {
+		decimals = 0
+	}
+	if decimals > 4 {
+		decimals = 4
+	}
+	scale := math.Pow(10, float64(decimals))
+	lat := math.Round(p.Lat*scale) / scale
+	lon := math.Round(p.Lon*scale) / scale
+	return fmt.Sprintf("≈(%.*f, %.*f)", decimals, lat, decimals, lon)
+}
+
+// ScrubBox renders a bounding box by its center (scrubbed) and its
+// span order of magnitude — enough to reason about a release, not
+// enough to recover a corner.
+func ScrubBox(b geo.BoundingBox) string {
+	return fmt.Sprintf("box %s spanning %.2f°×%.2f°", ScrubLatLon(b.Center()), b.MaxLat-b.MinLat, b.MaxLon-b.MinLon)
+}
+
+// Logger is a categorized logger whose formatting arguments pass
+// through Scrub. It wraps a standard *log.Logger so prefixes and flags
+// compose with the rest of the program's logging setup.
+type Logger struct {
+	out       *log.Logger
+	component string
+}
+
+// NewLogger returns a Logger for the given component writing to w; a
+// nil w uses the process-default logger destination.
+func NewLogger(component string, w io.Writer) *Logger {
+	if w == nil {
+		return &Logger{out: log.Default(), component: component}
+	}
+	return &Logger{out: log.New(w, "", log.LstdFlags), component: component}
+}
+
+// Printf logs one categorized line with scrubbed arguments. A nil
+// Logger is a no-op, so call sites need no guard.
+func (l *Logger) Printf(c Category, format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.out.Printf("%s [%s]: %s", l.component, c, fmt.Sprintf(format, ScrubArgs(args)...))
+}
+
+// Sprintf formats with scrubbed arguments — the string-building
+// counterpart of Printf for report emitters that own their writer.
+func Sprintf(format string, args ...any) string {
+	return fmt.Sprintf(format, ScrubArgs(args)...)
+}

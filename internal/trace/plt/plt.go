@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"locwatch/internal/geo"
+	"locwatch/internal/privlog"
 	"locwatch/internal/trace"
 )
 
@@ -90,7 +91,9 @@ func parseRecord(text string) (trace.Point, error) {
 	}
 	pos := geo.LatLon{Lat: lat, Lon: lon}
 	if !pos.Valid() {
-		return trace.Point{}, fmt.Errorf("%w: coordinate %v out of range", ErrBadRecord, pos)
+		// Even a rejected coordinate is location data: report it at
+		// scrubbed precision only.
+		return trace.Point{}, fmt.Errorf("%w: coordinate %s out of range", ErrBadRecord, privlog.ScrubLatLon(pos))
 	}
 	ts, err := time.Parse("2006-01-02 15:04:05", fields[5]+" "+fields[6])
 	if err != nil {

@@ -29,6 +29,7 @@
 package locwatch
 
 import (
+	"io"
 	"time"
 
 	"locwatch/internal/android"
@@ -41,6 +42,7 @@ import (
 	"locwatch/internal/mitigation"
 	"locwatch/internal/mobility"
 	"locwatch/internal/poi"
+	"locwatch/internal/privlog"
 	"locwatch/internal/stats"
 	"locwatch/internal/trace"
 	"locwatch/internal/trace/plt"
@@ -64,6 +66,19 @@ func Destination(p LatLon, bearingDeg, dist float64) LatLon {
 
 // NewProjection anchors a local projection at origin.
 func NewProjection(origin LatLon) *Projection { return geo.NewProjection(origin) }
+
+// ScrubLatLon renders p at privacy-safe precision (~1.1 km
+// quantization, marked with ≈) for logs and error messages. The
+// privtaint analyzer treats values formatted this way as scrubbed;
+// printing a raw LatLon instead is a lint finding.
+func ScrubLatLon(p LatLon) string { return privlog.ScrubLatLon(p) }
+
+// NewPrivacyLogger returns a categorized logger whose formatting
+// arguments pass through the privlog scrubber, so coordinates,
+// fixes and bounding boxes never reach the log at full precision.
+func NewPrivacyLogger(component string, w io.Writer) *privlog.Logger {
+	return privlog.NewLogger(component, w)
+}
 
 // Traces.
 type (
