@@ -4,15 +4,23 @@
 //	locwatchlint [flags] [packages]
 //
 // With no patterns it checks ./... relative to the enclosing module.
-// The exit status is 0 when the suite is clean, 1 when any finding is
-// reported, and 2 on usage or load errors.
+// The exit status is 0 when the suite is clean, 1 when any active
+// finding is reported, and 2 on usage or load errors. Findings
+// silenced by //lint:ignore directives or matched by the baseline are
+// not active: they keep showing up in json and sarif output (SARIF
+// carries them as suppressions) but do not fail the run.
 //
 // Flags:
 //
 //	-format f     output format: text (default), json, or sarif
-//	              (SARIF 2.1.0 with witness paths as relatedLocations)
+//	              (SARIF 2.1.0 with witness paths as relatedLocations
+//	              and suppressed findings as suppressions)
 //	-json         shorthand for -format json (kept for compatibility)
 //	-disable a,b  skip the named analyzers
+//	-baseline f   read an accepted-findings baseline: matched findings
+//	              are demoted to suppressed
+//	-write-baseline f  instead of failing, record the current active
+//	              findings as the new baseline and exit 0
 //	-list         print the analyzer suite and exit
 //	-graph s      instead of linting, dump the call-graph slice reachable
 //	              from functions whose qualified name contains s — the
@@ -41,6 +49,8 @@ func main() {
 	format := flag.String("format", "text", "output format: text, json, or sarif")
 	jsonOut := flag.Bool("json", false, "shorthand for -format json")
 	disable := flag.String("disable", "", "comma-separated analyzer names to skip")
+	baselinePath := flag.String("baseline", "", "accepted-findings baseline file to read")
+	writeBaseline := flag.String("write-baseline", "", "record current findings to this baseline file and exit 0")
 	list := flag.Bool("list", false, "print the analyzer suite and exit")
 	graphRoot := flag.String("graph", "", "dump the call graph reachable from functions whose qualified name contains this substring, then exit")
 	graphFormat := flag.String("graph-format", "dot", "call-graph dump format: dot or json")
@@ -107,6 +117,44 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *baselinePath != "" {
+		bf, err := os.Open(*baselinePath)
+		if err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
+		base, err := lint.ReadBaseline(bf)
+		_ = bf.Close() // read-only; nothing to act on
+		if err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
+		base.Apply(root, findings)
+	}
+	if *writeBaseline != "" {
+		out, err := os.Create(*writeBaseline)
+		if err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
+		werr := lint.WriteBaseline(out, root, findings)
+		if cerr := out.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			log.Print(werr)
+			os.Exit(2)
+		}
+		active := 0
+		for _, f := range findings {
+			if f.Active() {
+				active++
+			}
+		}
+		log.Printf("wrote %d finding(s) to %s", active, *writeBaseline)
+		return
+	}
+
 	switch *format {
 	case "json":
 		enc := json.NewEncoder(os.Stdout)
@@ -125,11 +173,15 @@ func main() {
 		}
 	default:
 		for _, f := range findings {
-			fmt.Println(f)
+			if f.Active() {
+				fmt.Println(f)
+			}
 		}
 	}
-	if len(findings) > 0 {
-		os.Exit(1)
+	for _, f := range findings {
+		if f.Active() {
+			os.Exit(1)
+		}
 	}
 }
 

@@ -45,11 +45,22 @@ type sarifMessage struct {
 }
 
 type sarifResult struct {
-	RuleID           string          `json:"ruleId"`
-	Level            string          `json:"level"`
-	Message          sarifMessage    `json:"message"`
-	Locations        []sarifLocation `json:"locations"`
-	RelatedLocations []sarifLocation `json:"relatedLocations,omitempty"`
+	RuleID           string             `json:"ruleId"`
+	Level            string             `json:"level"`
+	Message          sarifMessage       `json:"message"`
+	Locations        []sarifLocation    `json:"locations"`
+	RelatedLocations []sarifLocation    `json:"relatedLocations,omitempty"`
+	Suppressions     []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+// sarifSuppression marks a result as silenced without dropping it —
+// viewers render it greyed out instead of as a failure. Kind is
+// "inSource" for //lint:ignore directives, "external" for baseline
+// matches (SARIF's vocabulary for suppressions living outside the
+// code).
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
 }
 
 type sarifLocation struct {
@@ -94,6 +105,12 @@ func writeSARIF(w io.Writer, root string, analyzers []*analysis.Analyzer, findin
 		for _, rel := range f.Related {
 			r.RelatedLocations = append(r.RelatedLocations,
 				sarifLoc(root, rel.File, rel.Line, rel.Column, rel.Message))
+		}
+		switch f.Suppressed {
+		case lint.SuppressedInSource:
+			r.Suppressions = []sarifSuppression{{Kind: "inSource", Justification: f.Justification}}
+		case lint.SuppressedBaseline:
+			r.Suppressions = []sarifSuppression{{Kind: "external", Justification: f.Justification}}
 		}
 		results = append(results, r)
 	}

@@ -91,3 +91,51 @@ func TestWriteSARIF(t *testing.T) {
 		t.Errorf("out-of-root uri = %q, want /elsewhere/other.go", uri)
 	}
 }
+
+// TestSARIFSuppressions pins the suppression mapping: //lint:ignore
+// findings surface as kind inSource with the directive's justification,
+// baseline matches as kind external, and active findings carry no
+// suppressions array at all.
+func TestSARIFSuppressions(t *testing.T) {
+	findings := []lint.Finding{
+		{
+			Analyzer: "locksafe", File: "/mod/a.go", Line: 1, Column: 1,
+			Message:       "field S.x is written without synchronization",
+			Suppressed:    lint.SuppressedInSource,
+			Justification: "write happens before close(done)",
+		},
+		{
+			Analyzer: "detclock", File: "/mod/b.go", Line: 2, Column: 1,
+			Message:    "time.Now in simulation path",
+			Suppressed: lint.SuppressedBaseline,
+		},
+		{
+			Analyzer: "latlonbounds", File: "/mod/c.go", Line: 3, Column: 1,
+			Message: "latitude out of range",
+		},
+	}
+	var buf bytes.Buffer
+	if err := writeSARIF(&buf, "/mod", lint.All(), findings); err != nil {
+		t.Fatal(err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	rs := log.Runs[0].Results
+	if len(rs) != 3 {
+		t.Fatalf("got %d results, want 3", len(rs))
+	}
+	if len(rs[0].Suppressions) != 1 || rs[0].Suppressions[0].Kind != "inSource" {
+		t.Errorf("inSource suppression = %+v", rs[0].Suppressions)
+	}
+	if got := rs[0].Suppressions[0].Justification; got != "write happens before close(done)" {
+		t.Errorf("justification = %q", got)
+	}
+	if len(rs[1].Suppressions) != 1 || rs[1].Suppressions[0].Kind != "external" {
+		t.Errorf("baseline suppression = %+v", rs[1].Suppressions)
+	}
+	if len(rs[2].Suppressions) != 0 {
+		t.Errorf("active finding grew suppressions: %+v", rs[2].Suppressions)
+	}
+}

@@ -90,3 +90,29 @@ func TestPrivTaint(t *testing.T) {
 func TestSpawnLeak(t *testing.T) {
 	analysistest.Run(t, fixtures, lint.SpawnLeak, "spawnleak")
 }
+
+// TestLockSafe covers the lockset race tier: goroutine/main shared
+// fields with inconsistent locksets are reported at the unlocked
+// access (including through named-method spawn chains and the
+// branch-locked may/must split); constructors, entry-lockset-credited
+// helpers, read-only sharing and disciplined types stay silent.
+func TestLockSafe(t *testing.T) {
+	analysistest.Run(t, fixtures, lint.LockSafe, "locksafe")
+}
+
+// TestChanOwner covers channel-ownership discipline: outside-owner
+// sends and closes, send-after-close, double close (eager and
+// deferred), and the one-call-removed ordering violation from the
+// summary fixpoint; owner methods, constructors and consumers stay
+// silent.
+func TestChanOwner(t *testing.T) {
+	analysistest.Run(t, fixtures, lint.ChanOwner, "chanowner")
+}
+
+// TestCtxFlow covers cancellation flow: ctx-accepting functions that
+// block without a ctx.Done() escape or drop the ctx at a blocking
+// call, and contexts stored in struct fields; ctx-selecting,
+// forwarding and polling shapes stay silent.
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, fixtures, lint.CtxFlow, "ctxflow")
+}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A baseline is the accepted-findings ledger for incremental adoption
+// of a new analyzer: run once with -write-baseline to record today's
+// findings, commit the file, and from then on -baseline demotes exactly
+// those findings to suppressed while anything new still fails the run.
+//
+// Findings are matched by fingerprint — analyzer name, module-relative
+// position, and a hash of the message — so the ledger survives checkout
+// location changes but invalidates itself when a finding's line or
+// wording shifts (the cue to re-examine it, not a bug).
+
+// baselineVersion guards the file format.
+const baselineVersion = 1
+
+// BaselineEntry is one accepted finding. Analyzer and Message ride
+// along for human review of the committed file; matching uses only the
+// fingerprint.
+type BaselineEntry struct {
+	Fingerprint string `json:"fingerprint"`
+	Analyzer    string `json:"analyzer"`
+	Message     string `json:"message"`
+}
+
+type baselineFile struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// Baseline is a loaded accepted-findings set.
+type Baseline struct {
+	accepted map[string]bool
+}
+
+// Fingerprint computes a finding's stable identity: rule, position
+// relative to root (falling back to the raw path outside the module),
+// and an FNV-1a hash of the message.
+func Fingerprint(root string, f Finding) string {
+	file := f.File
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+	}
+	h := fnv.New32a()
+	_, _ = io.WriteString(h, f.Message) // fnv's Write cannot fail
+	return fmt.Sprintf("%s:%s:%d:%d:%08x", f.Analyzer, file, f.Line, f.Column, h.Sum32())
+}
+
+// WriteBaseline records every active finding (suppressed ones are
+// already accounted for elsewhere) as the new accepted set, sorted for
+// stable diffs.
+func WriteBaseline(w io.Writer, root string, findings []Finding) error {
+	bf := baselineFile{Version: baselineVersion, Findings: []BaselineEntry{}}
+	for _, f := range findings {
+		if !f.Active() {
+			continue
+		}
+		bf.Findings = append(bf.Findings, BaselineEntry{
+			Fingerprint: Fingerprint(root, f),
+			Analyzer:    f.Analyzer,
+			Message:     f.Message,
+		})
+	}
+	sort.Slice(bf.Findings, func(i, j int) bool {
+		return bf.Findings[i].Fingerprint < bf.Findings[j].Fingerprint
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(bf)
+}
+
+// ReadBaseline parses a baseline file.
+func ReadBaseline(r io.Reader) (*Baseline, error) {
+	var bf baselineFile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&bf); err != nil {
+		return nil, fmt.Errorf("lint: parse baseline: %w", err)
+	}
+	if bf.Version != baselineVersion {
+		return nil, fmt.Errorf("lint: baseline version %d, want %d", bf.Version, baselineVersion)
+	}
+	b := &Baseline{accepted: make(map[string]bool, len(bf.Findings))}
+	for _, e := range bf.Findings {
+		b.accepted[e.Fingerprint] = true
+	}
+	return b, nil
+}
+
+// Apply demotes findings matching the baseline to Suppressed =
+// "baseline". Findings already suppressed in source keep their
+// directive's justification.
+func (b *Baseline) Apply(root string, findings []Finding) {
+	for i := range findings {
+		f := &findings[i]
+		if !f.Active() {
+			continue
+		}
+		if b.accepted[Fingerprint(root, *f)] {
+			f.Suppressed = SuppressedBaseline
+			f.Justification = "accepted in baseline"
+		}
+	}
+}

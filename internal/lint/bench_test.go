@@ -44,6 +44,13 @@ func BenchmarkDetReach(b *testing.B)    { benchAnalyzer(b, lint.DetReach, "detre
 func BenchmarkSpawnLeak(b *testing.B)   { benchAnalyzer(b, lint.SpawnLeak, "spawnleak") }
 func BenchmarkPrivTaint(b *testing.B)   { benchAnalyzer(b, lint.PrivTaint, "privtaint/app") }
 
+// BenchmarkLocksafe includes the lazily-computed concurrency memos
+// (spawn flood, entry locksets) in the first iteration and the steady
+// per-package cost afterwards — the same amortization a real
+// locwatchlint run sees.
+func BenchmarkLocksafe(b *testing.B)  { benchAnalyzer(b, lint.LockSafe, "locksafe") }
+func BenchmarkChanOwner(b *testing.B) { benchAnalyzer(b, lint.ChanOwner, "chanowner") }
+
 // BenchmarkSuite runs the whole analyzer suite over one package, the
 // unit of work `make lint` pays once per package in the module.
 func BenchmarkSuite(b *testing.B) {

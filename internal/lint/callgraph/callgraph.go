@@ -84,6 +84,13 @@ type Edge struct {
 	// Dynamic marks edges resolved by method-set analysis (interface
 	// dispatch) or added for out-of-call-position references.
 	Dynamic bool
+	// Spawn marks edges whose callee starts on a new goroutine: the
+	// direct call of a `go f(…)` statement, and every call or reference
+	// inside a `go func(){…}` literal body (the literal itself is
+	// attributed to the enclosing declaration, so its calls are the
+	// spawned goroutine's first hops). Argument expressions of a go
+	// statement evaluate on the calling goroutine and are not marked.
+	Spawn bool
 }
 
 // ExternalCall is a call or reference to a function with no node.
@@ -190,6 +197,42 @@ func (g *Graph) indexPackage(pkg *loader.Package) {
 	}
 }
 
+// spawnContext records where in a function body code runs on a freshly
+// spawned goroutine: the direct call expressions of `go f(…)`
+// statements, and the body ranges of `go func(){…}` literals (nested
+// literals inside such a body inherit the goroutine).
+type spawnContext struct {
+	direct map[*ast.CallExpr]bool
+	ranges [][2]token.Pos
+}
+
+func spawnContextOf(body *ast.BlockStmt) *spawnContext {
+	sc := &spawnContext{direct: make(map[*ast.CallExpr]bool)}
+	ast.Inspect(body, func(m ast.Node) bool {
+		gs, ok := m.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if lit, ok := unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+			sc.ranges = append(sc.ranges, [2]token.Pos{lit.Body.Pos(), lit.Body.End()})
+		} else {
+			sc.direct[gs.Call] = true
+		}
+		return true
+	})
+	return sc
+}
+
+// covers reports whether pos lies inside a go-literal body.
+func (sc *spawnContext) covers(pos token.Pos) bool {
+	for _, r := range sc.ranges {
+		if r[0] <= pos && pos < r[1] {
+			return true
+		}
+	}
+	return false
+}
+
 // collectRefs walks n's body and adds a dynamic edge for every
 // *types.Func used outside call position (method value, function
 // passed as argument): the value may run later, so reachability must
@@ -200,6 +243,7 @@ func (g *Graph) collectRefs(n *Node) {
 		return
 	}
 	info := n.Pkg.TypesInfo
+	sc := spawnContextOf(n.Decl.Body)
 	// callFuns collects the identifiers that appear as the resolved
 	// selector/ident of a call's Fun, so the reference pass below can
 	// skip them.
@@ -224,7 +268,7 @@ func (g *Graph) collectRefs(n *Node) {
 			return true
 		}
 		if callee := g.Node(fn); callee != nil {
-			g.addEdge(n, callee, id.Pos(), true)
+			g.addEdge(n, callee, id.Pos(), true, sc.covers(id.Pos()))
 			g.takeAddress(callee)
 		} else {
 			n.External = append(n.External, ExternalCall{Fn: fn, Pos: id.Pos()})
@@ -241,14 +285,16 @@ func (g *Graph) resolveCalls(n *Node) {
 		return
 	}
 	info := n.Pkg.TypesInfo
+	sc := spawnContextOf(n.Decl.Body)
 	ast.Inspect(n.Decl.Body, func(m ast.Node) bool {
 		call, ok := m.(*ast.CallExpr)
 		if !ok {
 			return true
 		}
+		spawn := sc.direct[call] || sc.covers(call.Pos())
 		if id := calleeIdent(call); id != nil {
 			if fn, _ := info.Uses[id].(*types.Func); fn != nil {
-				g.addCall(n, fn, call.Pos())
+				g.addCall(n, fn, call.Pos(), spawn)
 				return true
 			}
 		}
@@ -265,7 +311,7 @@ func (g *Graph) resolveCalls(n *Node) {
 			return true
 		}
 		for _, callee := range g.addrTaken[valueSigKey(sig)] {
-			g.addEdge(n, callee, call.Pos(), true)
+			g.addEdge(n, callee, call.Pos(), true, spawn)
 		}
 		return true
 	})
@@ -315,22 +361,22 @@ func anonTuple(t *types.Tuple) *types.Tuple {
 
 // addCall resolves one called *types.Func: interface methods fan out
 // via CHA, everything else is a static edge or an external record.
-func (g *Graph) addCall(n *Node, fn *types.Func, pos token.Pos) {
+func (g *Graph) addCall(n *Node, fn *types.Func, pos token.Pos, spawn bool) {
 	if recv := fn.Type().(*types.Signature).Recv(); recv != nil && types.IsInterface(recv.Type()) {
 		for _, callee := range g.chaTargets(fn) {
-			g.addEdge(n, callee, pos, true)
+			g.addEdge(n, callee, pos, true, spawn)
 		}
 		return
 	}
 	if callee := g.Node(fn); callee != nil {
-		g.addEdge(n, callee, pos, false)
+		g.addEdge(n, callee, pos, false, spawn)
 		return
 	}
 	n.External = append(n.External, ExternalCall{Fn: fn, Pos: pos})
 }
 
-func (g *Graph) addEdge(from, to *Node, pos token.Pos, dynamic bool) {
-	e := &Edge{Caller: from, Callee: to, Pos: pos, Dynamic: dynamic}
+func (g *Graph) addEdge(from, to *Node, pos token.Pos, dynamic, spawn bool) {
+	e := &Edge{Caller: from, Callee: to, Pos: pos, Dynamic: dynamic, Spawn: spawn}
 	from.Out = append(from.Out, e)
 	to.In = append(to.In, e)
 }

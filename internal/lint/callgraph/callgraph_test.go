@@ -158,6 +158,57 @@ func TestReachability(t *testing.T) {
 	}
 }
 
+// TestSpawnEdges pins the spawn marking across every way a goroutine
+// can name its first hop: a direct named-method `go r.loop()`, a
+// bound-method value handed to go (address-taken fan-out), a
+// func-typed struct field, interface dispatch under go, and the calls
+// and references inside a `go func(){…}` literal body — while the go
+// statement's argument expressions stay on the calling side.
+func TestSpawnEdges(t *testing.T) {
+	g := loadFixture(t)
+	cases := []struct {
+		caller, callee string
+		spawn, dynamic bool
+	}{
+		{"Runner).Start", "Runner).loop", true, false},
+		{"Runner).Detach", "Runner).report", true, true},
+		{"Runner).Kick", "Runner).report", true, true},
+		{"Runner).Poll", "(cg.A).Next", true, true},
+		{"Runner).Poll", "(*cg.B).Next", true, true},
+		{"cg.Litter", "cg.Observed", true, false},
+		{"cg.Litter", "cg.Even", true, true}, // reference in the literal body
+		{"cg.Litter", "cg.clockInt", false, false},
+		{"cg.NewRunner", "Runner).report", false, true}, // field wiring, no go
+	}
+	for _, tc := range cases {
+		caller := node(t, g, tc.caller)
+		// A pair can carry several edges (a value reference plus the
+		// call through it): the case must match one of them, and a
+		// non-spawn case must see no spawn edge at all.
+		found, anySpawn, total := false, false, 0
+		for _, e := range caller.Out {
+			if !strings.HasSuffix(e.Callee.Name(), tc.callee) {
+				continue
+			}
+			total++
+			anySpawn = anySpawn || e.Spawn
+			if e.Spawn == tc.spawn && e.Dynamic == tc.dynamic {
+				found = true
+			}
+		}
+		if total == 0 {
+			t.Errorf("%s has no edge to %s (callees: %v)", tc.caller, tc.callee, callees(caller))
+			continue
+		}
+		if !found {
+			t.Errorf("%s → %s: no edge with Spawn=%v Dynamic=%v among %d", tc.caller, tc.callee, tc.spawn, tc.dynamic, total)
+		}
+		if !tc.spawn && anySpawn {
+			t.Errorf("%s → %s: unexpected spawn edge", tc.caller, tc.callee)
+		}
+	}
+}
+
 // TestFuncValueCall pins the address-taken fan-out: Apply calls its
 // func(int) bool parameter, so it gets a dynamic edge to Even (address-
 // taken by Register) but not to Odd (same signature, never referenced

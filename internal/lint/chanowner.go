@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"fmt"
+
+	"locwatch/internal/lint/analysis"
+	"locwatch/internal/lint/summary"
+)
+
+// ChanOwner enforces channel-ownership discipline on channel-typed
+// struct fields: only the declaring type's own methods (or its
+// constructors) may send on or close the channel — everyone else is a
+// consumer and may only receive. It also reports ordering violations
+// the concurrency summaries prove on a single control-flow path or
+// through one level of calls: a send reachable after a close on the
+// same channel field, and a second close of an already-closed field.
+//
+// The ownership rule is the usual Go idiom: the goroutine (type) that
+// writes a channel is the one that closes it, so consumers can rely on
+// range/recv termination without coordinating. A send from outside the
+// owner is where that contract breaks. Ordering facts flow through the
+// summary fixpoint, so `q.Close(); q.Push(v)` is caught even when the
+// close and the send live in different methods.
+var ChanOwner = &analysis.Analyzer{
+	Name: "chanowner",
+	Doc: "flags sends and closes on channel struct fields outside the declaring type's methods, " +
+		"sends after close, and double closes",
+	Run: runChanOwner,
+}
+
+func runChanOwner(pass *analysis.Pass) error {
+	prog := program(pass)
+	if prog == nil {
+		return nil
+	}
+	prog.concState()
+
+	for _, n := range prog.Graph.Nodes() {
+		if n.Pkg.Types != pass.Pkg {
+			continue
+		}
+		f := prog.Sums.OfNode(n)
+		if f == nil {
+			continue
+		}
+		for _, op := range f.Conc.ChanOps {
+			owner := prog.fieldOwner[op.Field]
+			if owner == nil || spawnsFor(n, owner) {
+				continue // unknown owner, or an owning method/constructor
+			}
+			verb := "send on"
+			if op.Kind == summary.ChanClose {
+				verb = "close of"
+			}
+			pass.Reportf(op.Pos, "%s channel field %s.%s outside %s's methods; only the owning type should write or close its channels",
+				verb, owner.Obj().Name(), op.Field.Name(), owner.Obj().Name())
+		}
+		for _, issue := range f.Conc.Issues {
+			d := analysis.Diagnostic{Pos: issue.Pos, Message: issue.Msg}
+			for _, hop := range issue.Via {
+				d.Related = append(d.Related, analysis.RelatedPos{
+					Pos:     hop.Pos,
+					Message: fmt.Sprintf("via call to %s", hop.Name),
+				})
+			}
+			pass.Report(d)
+		}
+	}
+	return nil
+}

@@ -24,13 +24,17 @@ import (
 
 // All returns the full analyzer suite in stable order: the five
 // syntactic analyzers from the first tier, the flow-sensitive tier
-// (errflow, exhaustenum, nilfacade) built on internal/lint/cfg, and
-// the interprocedural tier (detreach, privtaint, spawnleak, plus
+// (errflow, exhaustenum, nilfacade) built on internal/lint/cfg, the
+// interprocedural tier (detreach, privtaint, spawnleak, plus
 // nilfacade's summary-driven upgrade) built on internal/lint/callgraph
-// and internal/lint/summary.
+// and internal/lint/summary, and the concurrency tier (locksafe,
+// chanowner, ctxflow) built on the lockset/escape summaries and the
+// graph's spawn edges.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		AngleUnits,
+		ChanOwner,
+		CtxFlow,
 		DetClock,
 		DetReach,
 		DurationSeconds,
@@ -38,6 +42,7 @@ func All() []*analysis.Analyzer {
 		ExhaustEnum,
 		LatLonBounds,
 		LockedMap,
+		LockSafe,
 		NilFacade,
 		PrivTaint,
 		SpawnLeak,
@@ -52,9 +57,27 @@ type Finding struct {
 	Column   int    `json:"column"`
 	Message  string `json:"message"`
 	// Related carries secondary positions explaining the finding —
-	// privtaint uses it for the hops of a source→sink witness path.
+	// privtaint uses it for the hops of a source→sink witness path,
+	// locksafe for the two-path race witness.
 	Related []RelatedFinding `json:"related,omitempty"`
+	// Suppressed is "" for an active finding, "inSource" for one
+	// silenced by a //lint:ignore directive, "baseline" for one matched
+	// against an accepted-findings baseline file. Suppressed findings
+	// stay in reports (SARIF carries them as suppressions) but do not
+	// fail the run.
+	Suppressed string `json:"suppressed,omitempty"`
+	// Justification is the free-text tail of the ignore directive.
+	Justification string `json:"justification,omitempty"`
 }
+
+// Suppression kinds, matching SARIF's suppression vocabulary.
+const (
+	SuppressedInSource = "inSource" // //lint:ignore directive
+	SuppressedBaseline = "baseline" // matched an accepted-findings baseline
+)
+
+// Active reports whether the finding should fail a lint run.
+func (f Finding) Active() bool { return f.Suppressed == "" }
 
 // RelatedFinding is one secondary position attached to a Finding.
 type RelatedFinding struct {
@@ -78,19 +101,29 @@ func Run(pkgs []*loader.Package, analyzers []*analysis.Analyzer) ([]Finding, err
 	return BuildProgram(pkgs, nil).Run(analyzers)
 }
 
-// ignoreSet records, per file and line, the analyzer names suppressed
-// by //lint:ignore directives. A directive covers its own line and the
-// line below it, so it works both as a trailing and a standalone
-// comment.
-type ignoreSet map[string]map[int][]string
+// ignoreSet records, per file and line, the //lint:ignore directives
+// in force. A directive covers its own line and the line below it, so
+// it works both as a trailing and a standalone comment.
+type ignoreSet map[string]map[int][]ignoreEntry
 
-func (s ignoreSet) matches(file string, line int, analyzer string) bool {
-	for _, name := range s[file][line] {
-		if name == "all" || name == analyzer {
-			return true
+// ignoreEntry is one parsed directive: the analyzer names it silences
+// and the justification text after them.
+type ignoreEntry struct {
+	names  []string
+	reason string
+}
+
+// match returns whether a directive covers (file, line, analyzer) and
+// the directive's justification text.
+func (s ignoreSet) match(file string, line int, analyzer string) (bool, string) {
+	for _, e := range s[file][line] {
+		for _, name := range e.names {
+			if name == "all" || name == analyzer {
+				return true, e.reason
+			}
 		}
 	}
-	return false
+	return false, ""
 }
 
 func ignoreDirectives(pkg *loader.Package) ignoreSet {
@@ -109,11 +142,14 @@ func ignoreDirectives(pkg *loader.Package) ignoreSet {
 				}
 				pos := pkg.Fset.Position(c.Pos())
 				if set[pos.Filename] == nil {
-					set[pos.Filename] = make(map[int][]string)
+					set[pos.Filename] = make(map[int][]ignoreEntry)
 				}
-				names := strings.Split(fields[1], ",")
+				entry := ignoreEntry{
+					names:  strings.Split(fields[1], ","),
+					reason: strings.Join(fields[2:], " "),
+				}
 				for _, line := range []int{pos.Line, pos.Line + 1} {
-					set[pos.Filename][line] = append(set[pos.Filename][line], names...)
+					set[pos.Filename][line] = append(set[pos.Filename][line], entry)
 				}
 			}
 		}

@@ -1,0 +1,570 @@
+package lint
+
+import (
+	"fmt"
+	"go/types"
+	"sort"
+
+	"locwatch/internal/lint/analysis"
+	"locwatch/internal/lint/callgraph"
+	"locwatch/internal/lint/summary"
+)
+
+// LockSafe is an Eraser-style lockset race detector over the
+// concurrency summaries (internal/lint/summary conc.go): a struct
+// field written somewhere and reachable from both a goroutine-spawned
+// path and a non-spawned path must have a non-empty intersection of
+// the locksets held across all its accesses. When the intersection is
+// empty, the finding lands on the unlocked access and carries both
+// witness paths — how the goroutine side reaches the field (the spawn
+// site and the call chain through the graph) and where the main side
+// touches it.
+//
+// May-parallel is approximated by spawn reachability over the call
+// graph's spawn edges: code inside `go func(){…}` literals and
+// everything transitively called from `go f()` is goroutine-side; a
+// function also reachable over plain call edges from outside that
+// world is main-side too. Locks resolve to mutex variables the same
+// way spawnleak's drain tokens do — no alias analysis across
+// reassigned mutex pointers (DESIGN §6 states the envelope). Accesses
+// inside same-package constructors (functions returning the owning
+// type) and package init functions are pre-publication and exempt,
+// except on the goroutine side: a goroutine spawned by a constructor
+// outlives it. Fields that synchronize themselves (sync primitives,
+// atomics) and channel fields (chanowner's domain) are out of scope.
+// The top-down entry lockset — the intersection of locks held at every
+// static callsite — extends an access's effective lockset, so helpers
+// only ever called under the lock stay silent. Requires a
+// whole-program Pass.Program; without one the analyzer is a no-op.
+var LockSafe = &analysis.Analyzer{
+	Name: "locksafe",
+	Doc: "flags struct fields shared between a goroutine-spawned path and a non-spawned path " +
+		"whose accesses hold no consistent lock, at the unlocked access with both witness paths",
+	Run: runLockSafe,
+}
+
+// concState lazily computes the concurrency-tier memos shared by
+// locksafe and chanowner: spawn/main reachability, per-function entry
+// locksets, and the field→owning-type index.
+func (p *Program) concState() {
+	if p.concReady {
+		return
+	}
+	p.concReady = true
+	p.spawnReach = make(map[*callgraph.Node]bool)
+	p.spawnFrom = make(map[*callgraph.Node]*callgraph.Edge)
+	p.spawnShared = make(map[*callgraph.Node]uint64)
+	p.mainReach = make(map[*callgraph.Node]bool)
+	p.fieldOwner = make(map[*types.Var]*types.Named)
+
+	// Spawn reachability: flood forward from every spawn edge's callee.
+	// Two precision gates keep the flood honest (DESIGN §6): dynamic
+	// edges (interface dispatch, address-taken fan-out) are never
+	// followed — they are signature-matched guesses that would mark
+	// every function a worker pool's `task()` could name as
+	// goroutine-side; and a static call is followed only when it hands
+	// the callee something shared (a value rooted in the caller's own
+	// parameters or receiver). A goroutine that builds a fresh object
+	// and calls methods on it keeps that object private — the fork-join
+	// fan-out over per-worker state the experiment pipeline relies on.
+	callAt := make(map[*callgraph.Node]map[int64]summary.ConcCall)
+	for _, n := range p.Graph.Nodes() {
+		if f := p.Sums.OfNode(n); f != nil {
+			m := make(map[int64]summary.ConcCall, len(f.Conc.Calls))
+			for _, c := range f.Conc.Calls {
+				m[int64(c.Pos)] = c
+			}
+			callAt[n] = m
+		}
+	}
+	// edgeBits computes which callee parameter slots (receiver first)
+	// receive shared state across e. At a spawn edge (seed) any
+	// aliasable value rooted in the caller's own parameters — or
+	// leaking caller-unowned state — is shared: the spawner keeps its
+	// half. Across a plain call from goroutine-side code, a
+	// param-rooted value is only as shared as the caller slot it came
+	// from; leaked values are shared regardless. Edges with no recorded
+	// call (defers, references) stay fully conservative.
+	edgeBits := func(e *callgraph.Edge, seed bool) uint64 {
+		c, ok := callAt[e.Caller][int64(e.Pos)]
+		if !ok {
+			return ^uint64(0)
+		}
+		callerBits := p.spawnShared[e.Caller]
+		shared := func(alias, leak bool, root int) bool {
+			if !alias {
+				return false // by-value scalar: no aliasing possible
+			}
+			if leak {
+				return true
+			}
+			if root < 0 {
+				return false // fresh value the caller owns
+			}
+			return seed || callerBits&(1<<uint(root)) != 0
+		}
+		sig := e.Callee.Func.Type().(*types.Signature)
+		offset := 0
+		if sig.Recv() != nil {
+			offset = 1
+		}
+		nslots := sig.Params().Len() + offset
+		var bits uint64
+		set := func(slot int) {
+			if slot >= 0 && slot < 64 {
+				bits |= 1 << uint(slot)
+			}
+		}
+		if offset == 1 && shared(c.RecvAlias, c.RecvLeak, c.RecvRoot) {
+			set(0)
+		}
+		for i := range c.ArgRoots {
+			s := i + offset
+			if s >= nslots {
+				s = nslots - 1 // variadic tail folds onto the last slot
+			}
+			if shared(c.ArgAlias[i], c.ArgLeak[i], c.ArgRoots[i]) {
+				set(s)
+			}
+		}
+		return bits
+	}
+	var queue []*callgraph.Node
+	enqueue := func(e *callgraph.Edge, bits uint64) {
+		n := e.Callee
+		if p.spawnReach[n] && p.spawnShared[n]|bits == p.spawnShared[n] {
+			return
+		}
+		p.spawnShared[n] |= bits
+		if !p.spawnReach[n] {
+			p.spawnReach[n] = true
+			p.spawnFrom[n] = e
+		}
+		queue = append(queue, n)
+	}
+	for _, n := range p.Graph.Nodes() {
+		for _, e := range n.Out {
+			if e.Spawn && !e.Dynamic {
+				enqueue(e, edgeBits(e, true))
+			}
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.Out {
+			if !e.Dynamic && !e.Spawn {
+				enqueue(e, edgeBits(e, false))
+			}
+		}
+	}
+
+	// Main reachability: flood along non-spawn edges from everything
+	// outside the spawned world (roots, tests, other goroutine-free
+	// paths). A worker only ever entered via `go` stays goroutine-only.
+	for _, n := range p.Graph.Nodes() {
+		if !p.spawnReach[n] {
+			p.mainReach[n] = true
+			queue = append(queue, n)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.Out {
+			if !e.Spawn && !p.mainReach[e.Callee] {
+				p.mainReach[e.Callee] = true
+				queue = append(queue, e.Callee)
+			}
+		}
+	}
+
+	// Field owners: every named struct type's declared fields.
+	for _, pkg := range p.Graph.Packages {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			st, ok := named.Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				p.fieldOwner[st.Field(i)] = named
+			}
+		}
+	}
+
+	p.computeEntryHeld()
+}
+
+// computeEntryHeld runs the top-down must-lockset fixpoint: start each
+// called function at the universe of known locks and shrink by
+// intersecting, per callsite, the locks held there plus the caller's
+// own entry set. Unknown contexts (spawn edges, dynamic edges,
+// deferred calls with no recorded lockset) contribute the empty set.
+func (p *Program) computeEntryHeld() {
+	var universe []*types.Var
+	calls := make(map[*callgraph.Node]map[int64][]*types.Var)
+	for _, n := range p.Graph.Nodes() {
+		f := p.Sums.OfNode(n)
+		if f == nil {
+			continue
+		}
+		m := make(map[int64][]*types.Var, len(f.Conc.Calls))
+		for _, c := range f.Conc.Calls {
+			m[int64(c.Pos)] = c.Held
+			for _, v := range c.Held {
+				if !containsLock(universe, v) {
+					universe = append(universe, v)
+				}
+			}
+		}
+		calls[n] = m
+	}
+	p.entryHeld = make(map[*callgraph.Node][]*types.Var)
+	for _, n := range p.Graph.Nodes() {
+		if len(n.In) > 0 {
+			p.entryHeld[n] = append([]*types.Var(nil), universe...)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range p.Graph.Nodes() {
+			if len(n.In) == 0 {
+				continue
+			}
+			var acc []*types.Var
+			for i, e := range n.In {
+				var contrib []*types.Var
+				if !e.Spawn && !e.Dynamic && e.Caller != n {
+					if held, ok := calls[e.Caller][int64(e.Pos)]; ok {
+						contrib = unionLocks(held, p.entryHeld[e.Caller])
+					}
+				} else if e.Caller == n && !e.Spawn && !e.Dynamic {
+					// Self-recursion: the recursive call keeps the entry
+					// set plus whatever it holds at the site.
+					if held, ok := calls[e.Caller][int64(e.Pos)]; ok {
+						contrib = unionLocks(held, p.entryHeld[n])
+					}
+				}
+				if i == 0 {
+					acc = append([]*types.Var(nil), contrib...)
+				} else {
+					acc = intersectLocks(acc, contrib)
+				}
+			}
+			if !sameLocks(acc, p.entryHeld[n]) {
+				p.entryHeld[n] = acc
+				changed = true
+			}
+		}
+	}
+}
+
+func containsLock(vs []*types.Var, v *types.Var) bool {
+	for _, w := range vs {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+func unionLocks(a, b []*types.Var) []*types.Var {
+	out := append([]*types.Var(nil), a...)
+	for _, v := range b {
+		if !containsLock(out, v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func intersectLocks(a, b []*types.Var) []*types.Var {
+	var out []*types.Var
+	for _, v := range a {
+		if containsLock(b, v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func sameLocks(a, b []*types.Var) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for _, v := range a {
+		if !containsLock(b, v) {
+			return false
+		}
+	}
+	return true
+}
+
+// isConstructorOf reports whether n is a plain function returning the
+// named type (a constructor): its field writes happen before the value
+// is published, so they cannot race. Methods do not qualify — unlike
+// spawnsFor's ownership notion, a method runs on an already-shared
+// value.
+func isConstructorOf(n *callgraph.Node, named *types.Named) bool {
+	sig := n.Func.Type().(*types.Signature)
+	if sig.Recv() != nil {
+		return false
+	}
+	return spawnsFor(n, named)
+}
+
+// lockAccess pairs a summarized access with its node.
+type lockAccess struct {
+	node *callgraph.Node
+	a    summary.FieldAccess
+}
+
+// goSideAccess reports whether this access can run on a spawned
+// goroutine: lexically inside a go literal, or in spawn-reached code —
+// where a param-rooted access further requires its slot to have
+// actually received shared state on some goroutine-side path.
+func (p *Program) goSideAccess(la lockAccess) bool {
+	if la.a.InGo {
+		return true
+	}
+	if !p.spawnReach[la.node] {
+		return false
+	}
+	if la.a.RootParam >= 0 && la.a.RootParam < 64 {
+		return p.spawnShared[la.node]&(1<<uint(la.a.RootParam)) != 0
+	}
+	return true
+}
+
+func runLockSafe(pass *analysis.Pass) error {
+	prog := program(pass)
+	if prog == nil {
+		return nil
+	}
+	prog.concState()
+
+	// Collect the race-relevant accesses per field, in graph order so
+	// reports are deterministic.
+	byField := make(map[*types.Var][]lockAccess)
+	var fieldOrder []*types.Var
+	for _, n := range prog.Graph.Nodes() {
+		f := prog.Sums.OfNode(n)
+		if f == nil {
+			continue
+		}
+		for _, a := range f.Conc.Accesses {
+			if a.Owned {
+				continue // base object is goroutine-private
+			}
+			owner := prog.fieldOwner[a.Field]
+			if owner == nil {
+				continue // external or anonymous-struct field
+			}
+			if !a.InGo && (isConstructorOf(n, owner) || n.Func.Name() == "init") {
+				continue // pre-publication constructor/init access
+			}
+			if byField[a.Field] == nil {
+				fieldOrder = append(fieldOrder, a.Field)
+			}
+			byField[a.Field] = append(byField[a.Field], lockAccess{node: n, a: a})
+		}
+	}
+
+	for _, field := range fieldOrder {
+		prog.checkField(pass, field, byField[field])
+	}
+	return nil
+}
+
+// checkField applies the lockset discipline to one field's accesses
+// and reports in pass's package.
+func (p *Program) checkField(pass *analysis.Pass, field *types.Var, accs []lockAccess) {
+	goSide := p.goSideAccess
+	mainSide := func(la lockAccess) bool { return !la.a.InGo && p.mainReach[la.node] }
+
+	hasGo, hasMain, hasWrite := false, false, false
+	for _, la := range accs {
+		hasGo = hasGo || goSide(la)
+		hasMain = hasMain || mainSide(la)
+		hasWrite = hasWrite || la.a.Write
+	}
+	if !hasGo || !hasMain || !hasWrite {
+		return // not shared across goroutines, or read-only
+	}
+
+	// Effective must-lockset per access: locks held at the access plus
+	// the function's entry set (goroutine bodies start lock-free).
+	effective := make([][]*types.Var, len(accs))
+	for i, la := range accs {
+		eff := append([]*types.Var(nil), la.a.Held...)
+		if !la.a.InGo {
+			eff = unionLocks(eff, p.entryHeld[la.node])
+		}
+		effective[i] = eff
+	}
+	common := append([]*types.Var(nil), effective[0]...)
+	for _, eff := range effective[1:] {
+		common = intersectLocks(common, eff)
+	}
+	if len(common) > 0 {
+		return // consistent lockset discipline
+	}
+
+	// Inconsistent. Pick the candidate lock: the one held across the
+	// most accesses (stable on first-seen order for ties).
+	var candidates []*types.Var
+	counts := make(map[*types.Var]int)
+	for _, eff := range effective {
+		for _, v := range eff {
+			if counts[v] == 0 {
+				candidates = append(candidates, v)
+			}
+			counts[v]++
+		}
+	}
+	var best *types.Var
+	for _, v := range candidates {
+		if best == nil || counts[v] > counts[best] {
+			best = v
+		}
+	}
+
+	label := p.fieldLabel(field)
+	for i, la := range accs {
+		if la.node.Pkg.Types != pass.Pkg {
+			continue
+		}
+		if best != nil && containsLock(effective[i], best) {
+			continue // this access holds the candidate lock
+		}
+		if best == nil && !la.a.Write {
+			continue // fully unlocked field: anchor the report on writes
+		}
+		kind := "read"
+		if la.a.Write {
+			kind = "written"
+		}
+		var msg string
+		if best == nil {
+			msg = fmt.Sprintf("field %s is %s without synchronization but is shared with a goroutine; guard every access with one mutex", label, kind)
+		} else {
+			msg = fmt.Sprintf("field %s is %s without %s held (%d of %d accesses hold it); goroutine-shared fields need a consistent lockset",
+				label, kind, p.lockLabel(best), counts[best], len(accs))
+			if containsLock(la.a.MayHeld, best) {
+				msg += " — the lock is held on some paths through this function but not all"
+			}
+		}
+		d := analysis.Diagnostic{Pos: la.a.Pos, Message: msg}
+		d.Related = append(d.Related, p.goWitness(la, accs)...)
+		d.Related = append(d.Related, p.mainWitness(la, accs, effective)...)
+		pass.Report(d)
+	}
+}
+
+// goWitness builds the goroutine-side witness path: the spawn site and
+// the call chain that brings the goroutine to an access of the field.
+func (p *Program) goWitness(reported lockAccess, accs []lockAccess) []analysis.RelatedPos {
+	pick := func() *lockAccess {
+		for i := range accs {
+			la := &accs[i]
+			if p.goSideAccess(*la) && la.a.Pos != reported.a.Pos {
+				return la
+			}
+		}
+		if p.goSideAccess(reported) {
+			return &reported
+		}
+		return nil
+	}
+	g := pick()
+	if g == nil {
+		return nil
+	}
+	var out []analysis.RelatedPos
+	if g.a.InGo && g.a.GoPos.IsValid() {
+		out = append(out, analysis.RelatedPos{Pos: g.a.GoPos,
+			Message: "goroutine spawned here, in " + g.node.Name()})
+	} else if p.spawnReach[g.node] {
+		// Walk the BFS parents back to the originating spawn edge.
+		var chain []*callgraph.Edge
+		for at := g.node; ; {
+			e := p.spawnFrom[at]
+			if e == nil {
+				break
+			}
+			chain = append([]*callgraph.Edge{e}, chain...)
+			if e.Spawn {
+				break
+			}
+			at = e.Caller
+		}
+		if len(chain) > 0 && chain[0].Spawn {
+			out = append(out, analysis.RelatedPos{Pos: chain[0].Pos,
+				Message: "goroutine spawned here, in " + chain[0].Caller.Name()})
+			for _, e := range chain[1:] {
+				out = append(out, analysis.RelatedPos{Pos: e.Pos,
+					Message: "… which calls " + e.Callee.Name()})
+			}
+		}
+	}
+	if g.a.Pos != reported.a.Pos {
+		out = append(out, analysis.RelatedPos{Pos: g.a.Pos,
+			Message: "goroutine-side access in " + g.node.Name()})
+	}
+	return out
+}
+
+// mainWitness points at one non-goroutine access (with its locks) so
+// the finding shows the other half of the race.
+func (p *Program) mainWitness(reported lockAccess, accs []lockAccess, effective [][]*types.Var) []analysis.RelatedPos {
+	for i := range accs {
+		la := &accs[i]
+		if la.a.InGo || !p.mainReach[la.node] || la.a.Pos == reported.a.Pos {
+			continue
+		}
+		msg := "main-side access in " + la.node.Name()
+		if len(effective[i]) > 0 {
+			names := make([]string, len(effective[i]))
+			for j, v := range effective[i] {
+				names[j] = p.lockLabel(v)
+			}
+			sort.Strings(names)
+			msg += " (holds "
+			for j, name := range names {
+				if j > 0 {
+					msg += ", "
+				}
+				msg += name
+			}
+			msg += ")"
+		}
+		return []analysis.RelatedPos{{Pos: la.a.Pos, Message: msg}}
+	}
+	return nil
+}
+
+// fieldLabel renders Owner.field for diagnostics.
+func (p *Program) fieldLabel(field *types.Var) string {
+	if owner := p.fieldOwner[field]; owner != nil {
+		return owner.Obj().Name() + "." + field.Name()
+	}
+	return field.Name()
+}
+
+func (p *Program) lockLabel(v *types.Var) string {
+	if v.IsField() {
+		if owner := p.fieldOwner[v]; owner != nil {
+			return owner.Obj().Name() + "." + v.Name()
+		}
+	}
+	return v.Name()
+}

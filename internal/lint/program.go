@@ -2,6 +2,7 @@ package lint
 
 import (
 	"fmt"
+	"go/types"
 	"sort"
 
 	"locwatch/internal/lint/analysis"
@@ -31,6 +32,33 @@ type Program struct {
 	detReady bool
 	detRoots []*callgraph.Node
 	detReach map[*callgraph.Node]bool
+
+	// concurrency-tier state (locksafe/chanowner), computed lazily on
+	// first use and shared across the per-package passes of one run.
+	concReady bool
+	// spawnReach holds every node reachable from a spawn edge — code
+	// that may run on a spawned goroutine; spawnFrom records the BFS
+	// parent edge for witness paths (the entry is the spawn edge
+	// itself for flood roots).
+	spawnReach map[*callgraph.Node]bool
+	spawnFrom  map[*callgraph.Node]*callgraph.Edge
+	// spawnShared refines spawnReach per parameter slot (receiver
+	// first): bit i set means the value arriving in slot i of this
+	// function, on some goroutine-side path, aliases state another
+	// goroutine also holds. Accesses rooted in a slot with the bit
+	// clear are goroutine-private even inside spawn-reached code.
+	spawnShared map[*callgraph.Node]uint64
+	// mainReach holds every node reachable along non-spawn edges from
+	// outside the spawned world — code that may run on the spawning
+	// side. A node can be in both.
+	mainReach map[*callgraph.Node]bool
+	// entryHeld is the top-down must-lockset at function entry: the
+	// intersection over all static callsites of (locks held at the
+	// call ∪ the caller's own entry set). Spawn and dynamic edges
+	// contribute the empty set.
+	entryHeld map[*callgraph.Node][]*types.Var
+	// fieldOwner maps a struct field to the named type declaring it.
+	fieldOwner map[*types.Var]*types.Named
 }
 
 // BuildProgram assembles a Program over targets. lookup resolves an
@@ -72,8 +100,10 @@ func BuildProgram(targets []*loader.Package, lookup func(importPath string) *loa
 }
 
 // RunPackage applies one analyzer to one package under this program's
-// whole-program view and returns its findings with //lint:ignore
-// directives already applied.
+// whole-program view and returns its findings. Findings covered by a
+// //lint:ignore directive are returned with Suppressed set to
+// "inSource" (and the directive's justification) rather than dropped,
+// so SARIF output can carry them as suppressions.
 func (p *Program) RunPackage(pkg *loader.Package, a *analysis.Analyzer) ([]Finding, error) {
 	var diags []analysis.Diagnostic
 	pass := &analysis.Pass{
@@ -92,15 +122,16 @@ func (p *Program) RunPackage(pkg *loader.Package, a *analysis.Analyzer) ([]Findi
 	var out []Finding
 	for _, d := range diags {
 		pos := pkg.Fset.Position(d.Pos)
-		if ignored.matches(pos.Filename, pos.Line, a.Name) {
-			continue
-		}
 		f := Finding{
 			Analyzer: a.Name,
 			File:     pos.Filename,
 			Line:     pos.Line,
 			Column:   pos.Column,
 			Message:  d.Message,
+		}
+		if hit, reason := ignored.match(pos.Filename, pos.Line, a.Name); hit {
+			f.Suppressed = SuppressedInSource
+			f.Justification = reason
 		}
 		for _, r := range d.Related {
 			rp := pkg.Fset.Position(r.Pos)

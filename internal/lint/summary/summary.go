@@ -64,6 +64,12 @@ type Facts struct {
 	// and the internally-sourced sink flows the privtaint analyzer
 	// reports.
 	Loc LocFacts
+
+	// Conc is the concurrency summary (see conc.go): field accesses
+	// with their locksets, channel-field operations and ordering
+	// issues, calls annotated with the lockset held, blocking sites,
+	// and goroutine/channel escape bitsets.
+	Conc ConcFacts
 }
 
 // Tokens records drain/join protocol operations by variable identity.
@@ -163,8 +169,9 @@ func Compute(g *callgraph.Graph) *Set {
 		s.facts[n] = c.directFacts(n)
 	}
 	// Then the bottom-up fixpoints over the condensation: the boolean
-	// facts, then the location-taint lattice (independent lattices, so
-	// they converge separately; both are monotone).
+	// facts, the location-taint lattice, and the concurrency lattice
+	// (independent lattices, so they converge separately; all are
+	// monotone).
 	for _, scc := range g.SCCs() {
 		for changed := true; changed; {
 			changed = false
@@ -178,6 +185,14 @@ func Compute(g *callgraph.Graph) *Set {
 			changed = false
 			for _, n := range scc {
 				if c.locFlow(n) {
+					changed = true
+				}
+			}
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, n := range scc {
+				if c.concFlow(n) {
 					changed = true
 				}
 			}
@@ -238,6 +253,7 @@ func (c *computer) directFacts(n *callgraph.Node) *Facts {
 		return true
 	})
 	f.Tokens = ScanTokens(info, n.Decl.Body)
+	f.Conc = c.concScan(n)
 	return f
 }
 

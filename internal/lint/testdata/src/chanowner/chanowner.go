@@ -1,0 +1,82 @@
+// Fixtures for the chanowner analyzer: sends and closes on a
+// channel-typed struct field belong to the declaring type's methods
+// and constructors; consumers only receive. Ordering positives cover
+// send-after-close and double close, in one function and one call
+// removed.
+package chanowner
+
+// Queue owns two channels: ch carries work, done signals shutdown.
+type Queue struct {
+	ch   chan int
+	done chan struct{}
+}
+
+func NewQueue() *Queue {
+	return &Queue{ch: make(chan int, 8), done: make(chan struct{})}
+}
+
+// Preload sends from a constructor: the queue is unpublished, the
+// constructor is an owner.
+func Preload(vals []int) *Queue {
+	q := &Queue{ch: make(chan int, len(vals))}
+	for _, v := range vals {
+		q.ch <- v
+	}
+	return q
+}
+
+// Push and Close are the owner's write side: silent.
+func (q *Queue) Push(v int) {
+	q.ch <- v
+}
+
+func (q *Queue) Close() {
+	close(q.ch)
+}
+
+// Drain only receives: consumers may do that from anywhere.
+func Drain(q *Queue) int {
+	return <-q.ch
+}
+
+// Inject writes the channel from outside the owner.
+func Inject(q *Queue, v int) {
+	q.ch <- v // want `send on channel field Queue\.ch outside Queue's methods`
+}
+
+// ShutFromOutside closes someone else's channel.
+func ShutFromOutside(q *Queue) {
+	close(q.done) // want `close of channel field Queue\.done outside Queue's methods`
+}
+
+// Flush sends after closing on the same path.
+func (q *Queue) Flush() {
+	close(q.ch)
+	q.ch <- 0 // want `send on ch possibly after close`
+}
+
+// Stop closes twice on the same path.
+func (q *Queue) Stop() {
+	close(q.done)
+	close(q.done) // want `double close of done`
+}
+
+// Graceful is the defer-close idiom: one close, runs at return, fine.
+func (q *Queue) Graceful() {
+	defer close(q.done)
+	q.ch <- 1
+}
+
+// BadStop closes and then calls a method that sends: the ordering
+// violation is one call removed and comes from the summary fixpoint.
+func (q *Queue) BadStop() {
+	close(q.ch)
+	q.Push(1) // want `call to .*Push.* may send on ch after close`
+}
+
+// DoubleDefer pairs a deferred close with an eager one: the deferred
+// close runs last, so the pair is a double close.
+func (q *Queue) DoubleDefer() {
+	defer close(q.done) // want `double close of done \(also closed at a non-deferred site\)`
+	close(q.done)
+}

@@ -1,0 +1,88 @@
+// Fixtures for the ctxflow analyzer: a function that accepts a
+// context must let cancellation through — blocking with no ctx.Done()
+// escape, or calling a blocking helper without forwarding the ctx,
+// means the ctx is decorative. Storing a ctx in a struct field is
+// flagged unconditionally.
+package ctxflow
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// WaitNaked blocks on a bare receive with a ctx in hand.
+func WaitNaked(ctx context.Context, ch chan int) int {
+	return <-ch // want `channel receive in a function that takes a ctx it never consults`
+}
+
+// WaitGood selects on ctx.Done alongside the receive: cancellable.
+func WaitGood(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// Snooze sleeps through its cancellation window.
+func Snooze(ctx context.Context) {
+	time.Sleep(time.Second) // want `time\.Sleep in a function that takes a ctx it never consults`
+}
+
+// WaitAll parks on a WaitGroup the ctx cannot unpark.
+func WaitAll(ctx context.Context, wg *sync.WaitGroup) {
+	wg.Wait() // want `sync\.WaitGroup\.Wait in a function that takes a ctx it never consults`
+}
+
+// Gather's select has no default and no ctx.Done case: it can park
+// forever.
+func Gather(ctx context.Context, a, b chan int) int {
+	select { // want `select with no default or ctx\.Done\(\) case in a function that takes a ctx`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// Poll's select has a default case: non-blocking, silent.
+func Poll(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+// Forward hands the ctx to a cancellation-aware callee: silent.
+func Forward(ctx context.Context, ch chan int) int {
+	return WaitGood(ctx, ch)
+}
+
+// helper takes no ctx and blocks; it is not reportable itself, but it
+// gives callers a may-block summary.
+func helper(ch chan int) int {
+	return <-ch
+}
+
+// CallsBlocking has a ctx but drops it at the call into helper.
+func CallsBlocking(ctx context.Context, ch chan int) int {
+	return helper(ch) // want `call to helper may block but ctx is not forwarded`
+}
+
+// holder pins the stored-context lint, in both assignment and
+// composite-literal form.
+type holder struct {
+	ctx context.Context
+}
+
+func (h *holder) Set(ctx context.Context) {
+	h.ctx = ctx // want `context stored in struct field ctx`
+}
+
+func Make(ctx context.Context) holder {
+	return holder{ctx: ctx} // want `context stored in struct field ctx`
+}

@@ -1,0 +1,170 @@
+// Fixtures for the locksafe analyzer: struct fields shared between a
+// goroutine-spawned path and a non-spawned path must hold a consistent
+// lockset across every access. Positives anchor on the unlocked access
+// and carry a two-path witness; negatives pin the constructor
+// exemption, the entry-lockset credit for locked-only helpers, and
+// read-only sharing.
+package locksafe
+
+import "sync"
+
+// Counter is the deliberate race the tier exists for: the goroutine
+// spawned by Start mutates n under mu, Bump mutates it bare.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *Counter) Start() {
+	go func() {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}()
+}
+
+func (c *Counter) Bump() {
+	c.n++ // want `field Counter\.n is written without Counter\.mu held \(1 of 2 accesses hold it\)`
+}
+
+// NewCounter writes the field bare, but constructors run before the
+// value is published: exempt.
+func NewCounter() *Counter {
+	c := &Counter{}
+	c.n = 1
+	return c
+}
+
+// Counter2 pins the may/must split: MaybeBump holds the lock on one
+// path only, so the access's must-lockset is empty and the message
+// says so.
+type Counter2 struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *Counter2) Spin() {
+	go func() {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}()
+}
+
+func (c *Counter2) MaybeBump(fast bool) {
+	if !fast {
+		c.mu.Lock()
+	}
+	c.n++ // want `field Counter2\.n is written without Counter2\.mu held .* held on some paths through this function but not all`
+	if !fast {
+		c.mu.Unlock()
+	}
+}
+
+// Tree pins the top-down entry lockset: addLocked never locks itself,
+// but its only caller holds mu at the callsite (and a deferred unlock
+// keeps it held), so the helper's accesses are credited with the lock.
+type Tree struct {
+	mu   sync.Mutex
+	size int
+}
+
+func (t *Tree) Add() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.addLocked()
+}
+
+func (t *Tree) addLocked() {
+	t.size++
+}
+
+func (t *Tree) Watch() {
+	go func() {
+		t.mu.Lock()
+		t.size++
+		t.mu.Unlock()
+	}()
+}
+
+// Pump pins spawn reachability through named methods: step runs only
+// under `go p.loop()`, two hops from the spawn, and its bare accesses
+// race with Enqueue's locked ones. Both the write and the read in the
+// append are flagged.
+type Pump struct {
+	mu  sync.Mutex
+	buf []int
+}
+
+func (p *Pump) Run() {
+	go p.loop()
+}
+
+func (p *Pump) loop() {
+	for {
+		p.step()
+	}
+}
+
+func (p *Pump) step() {
+	p.buf = append(p.buf, 1) // want `field Pump\.buf is written without Pump\.mu held` `field Pump\.buf is read without Pump\.mu held`
+}
+
+func (p *Pump) Enqueue(v int) {
+	p.mu.Lock()
+	p.buf = append(p.buf, v)
+	p.mu.Unlock()
+}
+
+// Flag has no lock anywhere: the report falls back to the
+// guard-every-access message and anchors on the write.
+type Flag struct {
+	done bool
+}
+
+func (f *Flag) Watch() {
+	go func() {
+		for !f.done {
+		}
+	}()
+}
+
+func (f *Flag) Stop() {
+	f.done = true // want `field Flag\.done is written without synchronization but is shared with a goroutine`
+}
+
+// Config is shared read-only: no write, no race, no finding.
+type Config struct {
+	name string
+}
+
+func (c *Config) Serve() {
+	go func() {
+		_ = c.name
+	}()
+}
+
+func (c *Config) Title() string {
+	return c.name
+}
+
+// Gauge keeps the discipline (every access under mu, reads under
+// RLock): silent.
+type Gauge struct {
+	mu sync.RWMutex
+	v  float64
+}
+
+func (g *Gauge) WatchG() {
+	go func() {
+		g.mu.Lock()
+		g.v = 1
+		g.mu.Unlock()
+	}()
+}
+
+func (g *Gauge) Read() float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v
+}
