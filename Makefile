@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 BENCHTIME ?= 1x
-BENCHOUT ?= BENCH_3.json
+BENCHOUT ?= BENCH_8.json
 
 .PHONY: all build test check fmt vet lint race fuzz vuln bench cover
 

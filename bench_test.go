@@ -332,3 +332,44 @@ func BenchmarkAblationTail(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkFullSuite is the end-to-end artifact regeneration: a cold
+// lab per iteration (no shared caches), the market study, every
+// figure, the combined detector, and the extractor/mitigation
+// ablations — the wall-clock number the README's perf section quotes.
+// Unlike the per-artifact benches above, it includes world
+// construction and the shared profile-building passes.
+func BenchmarkFullSuite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		l, err := experiments.NewLab(experiments.Quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := experiments.MarketStudy(l.Config())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.Figure2(l); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.Figure3(l, rep); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.Figure4(l); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.Figure5(l); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.Combined(l); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.AblationExtractor(l); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.AblationMitigation(l); err != nil {
+			b.Fatal(err)
+		}
+		l.Close()
+	}
+}

@@ -63,6 +63,16 @@ type Profile struct {
 	regionRun  int // consecutive fixes in lastRegion
 	sojourns   int // debounced region entries: the effective sample size of regionHist
 
+	// Run-length region accounting: Feed compares integer cell
+	// coordinates per fix (allocation-free) and defers the histogram
+	// update — the string key is materialized and the run's count added
+	// only when the cell changes or the histogram is read. Deferred
+	// counts are integers, so Add(region, n) is bit-identical to n
+	// consecutive Inc(region) calls.
+	cellX, cellY int
+	haveCell     bool
+	pendingRun   int // fixes in (cellX, cellY) not yet in regionHist
+
 	points int
 	visits int
 }
@@ -113,17 +123,19 @@ func (b *ProfileBuilder) Feed(pt trace.Point) error {
 		return err
 	}
 	p := b.profile
-	region := p.regions.RegionID(pt.Pos)
-	p.regionHist.Inc(region)
+	cx, cy := p.regions.Cell(pt.Pos)
 	// A sojourn — one independent observation of the user's dwell mix —
 	// is counted only after sojournDebounce consecutive fixes in the
 	// region: cell-boundary flicker and brief transit crossings are not
 	// independent samples, and counting them would inflate the
 	// chi-square test's effective sample size.
-	if region != p.lastRegion {
-		p.lastRegion = region
+	if !p.haveCell || cx != p.cellX || cy != p.cellY {
+		p.flushRegionRun()
+		p.cellX, p.cellY, p.haveCell = cx, cy, true
+		p.lastRegion = p.regions.RegionIDOfCell(cx, cy)
 		p.regionRun = 0
 	}
+	p.pendingRun++
 	p.regionRun++
 	if p.regionRun == sojournDebounce {
 		p.sojourns++
@@ -136,6 +148,19 @@ func (b *ProfileBuilder) Feed(pt trace.Point) error {
 // sojournDebounce is the run length at which a region entry counts as
 // a sojourn.
 const sojournDebounce = 3
+
+// flushRegionRun folds the pending run-length count into the region
+// histogram. Every read of regionHist goes through a flushing accessor,
+// so deferral is invisible; the integer weight keeps the fold
+// bit-identical to per-fix increments. Finalized profiles (Profile()
+// was called) have no pending run, which keeps later concurrent reads
+// of shared cached profiles write-free.
+func (p *Profile) flushRegionRun() {
+	if p.pendingRun > 0 {
+		p.regionHist.Add(p.lastRegion, float64(p.pendingRun))
+		p.pendingRun = 0
+	}
+}
 
 // observe receives each extracted stay and updates the movement state.
 func (b *ProfileBuilder) observe(s poi.StayPoint) {
@@ -165,7 +190,16 @@ func moveKey(from, to string) string { return from + "→" + to }
 // is needed.
 func (b *ProfileBuilder) Profile() *Profile {
 	b.extractor.Flush()
+	b.profile.flushRegionRun()
 	return b.profile
+}
+
+// Release returns the builder's pooled extraction scratch (the PoI
+// window buffers) for reuse. Call only when no more points will be fed;
+// the already-built Profile stays fully valid. BuildProfile releases
+// automatically — its builder never escapes.
+func (b *ProfileBuilder) Release() {
+	b.extractor.Release()
 }
 
 // BuildProfile drains src into a new profile.
@@ -186,7 +220,9 @@ func BuildProfile(src trace.Source, anchor geo.LatLon, params Params) (*Profile,
 			return nil, err
 		}
 	}
-	return b.Profile(), nil
+	prof := b.Profile()
+	b.Release()
+	return prof, nil
 }
 
 // Anchor returns the projection anchor region identifiers are relative
@@ -222,6 +258,7 @@ func (p *Profile) Histogram(pattern Pattern) *stats.Histogram {
 	if pattern == PatternMovement {
 		return p.moveHist
 	}
+	p.flushRegionRun()
 	return p.regionHist
 }
 
@@ -326,7 +363,7 @@ func (p *Profile) Compare(observed *Profile, pattern Pattern) (stats.GoodnessOfF
 		// sojourns. Without this the test has unbounded power and
 		// rejects every profile, including the user's own, on any
 		// cross-window drift.
-		obs = observed.regionHist
+		obs = observed.Histogram(pattern)
 		if observed.points > 0 && observed.sojourns > 0 && observed.sojourns < observed.points {
 			obs = obs.Scaled(float64(observed.sojourns) / float64(observed.points))
 		}

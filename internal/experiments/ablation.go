@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"strings"
-	"sync"
 	"time"
 
 	"locwatch/internal/core"
@@ -35,9 +34,10 @@ func AblationExtractor(l *Lab) (*AblationExtractorResult, error) {
 	if params == (poi.Params{}) {
 		params = poi.DefaultParams()
 	}
+	type extractorCounts struct{ buffer, stayPoint int }
+	perUser := make([]extractorCounts, l.world.NumUsers())
 	for _, iv := range l.cfg.Intervals {
 		row := AblationExtractorRow{Interval: iv}
-		var mu sync.Mutex
 		err := l.forEachUser(func(id int) error {
 			src, err := l.world.Trace(id, iv)
 			if err != nil {
@@ -63,15 +63,17 @@ func AblationExtractor(l *Lab) (*AblationExtractorResult, error) {
 				return err
 			}
 			buf.Flush()
+			buf.Release()
 			sp.Flush()
-			mu.Lock()
-			row.Buffer += nBuf
-			row.StayPoint += nSP
-			mu.Unlock()
+			perUser[id] = extractorCounts{buffer: nBuf, stayPoint: nSP}
 			return nil
 		})
 		if err != nil {
 			return nil, err
+		}
+		for _, c := range perUser {
+			row.Buffer += c.buffer
+			row.StayPoint += c.stayPoint
 		}
 		res.Rows = append(res.Rows, row)
 	}
@@ -164,9 +166,10 @@ func AblationMitigation(l *Lab) (*AblationMitigationResult, error) {
 	}
 
 	res := &AblationMitigationResult{}
+	type exposure struct{ total, disc, sTotal, sDisc, breach int }
+	perUser := make([]exposure, l.world.NumUsers())
 	for _, d := range defenses {
 		row := AblationMitigationRow{Name: d.name}
-		var mu sync.Mutex
 		err := l.forEachUser(func(id int) error {
 			src, err := l.world.Trace(id, 0)
 			if err != nil {
@@ -193,17 +196,18 @@ func AblationMitigation(l *Lab) (*AblationMitigationResult, error) {
 					break
 				}
 			}
-			mu.Lock()
-			row.PoIsTotal += total
-			row.PoIsDiscovered += disc
-			row.SensitiveTotal += sTotal
-			row.SensitiveDiscovered += sDisc
-			row.Breaches += breach
-			mu.Unlock()
+			perUser[id] = exposure{total: total, disc: disc, sTotal: sTotal, sDisc: sDisc, breach: breach}
 			return nil
 		})
 		if err != nil {
 			return nil, err
+		}
+		for _, e := range perUser {
+			row.PoIsTotal += e.total
+			row.PoIsDiscovered += e.disc
+			row.SensitiveTotal += e.sTotal
+			row.SensitiveDiscovered += e.sDisc
+			row.Breaches += e.breach
 		}
 		res.Rows = append(res.Rows, row)
 	}

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"strings"
-	"sync"
 	"time"
 
 	"locwatch/internal/core"
@@ -62,29 +61,38 @@ func Figure5(l *Lab) (*Figure5Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		var mu sync.Mutex
-		sums := map[core.Pattern]float64{}
+		// Per-user outcome slots, folded sequentially by user id below:
+		// the degree-of-anonymity sums are floats, so a pinned summation
+		// order keeps MeanDeg bit-identical across worker counts.
+		type userOutcome struct {
+			deg   [2]float64 // indexed by position in patterns
+			ident [2]bool
+		}
+		outcomes := make([]userOutcome, l.world.NumUsers())
 		err = l.forEachUser(func(id int) error {
 			collected := collectedAll[id]
-			deg := map[core.Pattern]float64{}
-			ident := map[core.Pattern]bool{}
-			for _, pattern := range patterns {
+			for i, pattern := range patterns {
 				outcome, err := adv.Identify(collected, pattern)
 				if err != nil {
 					return err
 				}
-				deg[pattern] = outcome.DegAnonymity
-				ident[pattern] = outcome.Matches > 0 && outcome.DegAnonymity < 1e-9
+				outcomes[id].deg[i] = outcome.DegAnonymity
+				outcomes[id].ident[i] = outcome.Matches > 0 && outcome.DegAnonymity < 1e-9
 			}
-			mu.Lock()
-			defer mu.Unlock()
-			for _, pattern := range patterns {
-				sums[pattern] += deg[pattern]
-				if ident[pattern] {
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		sums := map[core.Pattern]float64{}
+		for _, uo := range outcomes {
+			for i, pattern := range patterns {
+				sums[pattern] += uo.deg[i]
+				if uo.ident[i] {
 					row.Identified[pattern]++
 				}
 			}
-			d1, d2 := deg[core.PatternRegion], deg[core.PatternMovement]
+			d1, d2 := uo.deg[0], uo.deg[1]
 			switch {
 			case d2 < d1-1e-9:
 				row.P2Leaks++
@@ -93,10 +101,6 @@ func Figure5(l *Lab) (*Figure5Result, error) {
 			default:
 				row.Ties++
 			}
-			return nil
-		})
-		if err != nil {
-			return nil, err
 		}
 		n := float64(l.world.NumUsers())
 		for _, pattern := range patterns {

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"strings"
-	"sync"
 	"time"
 
 	"locwatch/internal/anonymize"
@@ -100,7 +99,8 @@ func AblationCloaking(l *Lab) (*CloakingResult, error) {
 		if total := releases + suppressed; total > 0 {
 			row.SuppressedFrac = float64(suppressed) / float64(total)
 		}
-		var mu sync.Mutex
+		type exposure struct{ total, disc, sTotal, sDisc, breach int }
+		perUser := make([]exposure, n)
 		err = l.forEachUser(func(id int) error {
 			obs, err := core.BuildProfile(trace.NewSliceSource(released[id]), l.cfg.Mobility.CityCenter, l.cfg.Core)
 			if err != nil {
@@ -119,17 +119,18 @@ func AblationCloaking(l *Lab) (*CloakingResult, error) {
 					break
 				}
 			}
-			mu.Lock()
-			row.PoIsTotal += total
-			row.PoIsDiscovered += disc
-			row.SensitiveTotal += sTotal
-			row.SensitiveDiscovered += sDisc
-			row.Breaches += breach
-			mu.Unlock()
+			perUser[id] = exposure{total: total, disc: disc, sTotal: sTotal, sDisc: sDisc, breach: breach}
 			return nil
 		})
 		if err != nil {
 			return nil, err
+		}
+		for _, e := range perUser {
+			row.PoIsTotal += e.total
+			row.PoIsDiscovered += e.disc
+			row.SensitiveTotal += e.sTotal
+			row.SensitiveDiscovered += e.sDisc
+			row.Breaches += e.breach
 		}
 		res.Rows = append(res.Rows, row)
 	}

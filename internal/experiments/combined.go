@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 	"strings"
-	"sync"
 	"time"
 
 	"locwatch/internal/core"
@@ -49,8 +48,11 @@ func Combined(l *Lab) (*CombinedResult, error) {
 			return nil, err
 		}
 		row := CombinedRow{Interval: iv}
-		var mu sync.Mutex
-		var sumP1, sumP2, sumC float64
+		// Per-user first-fire slots; the float fraction sums are folded
+		// sequentially by user id below so the summation order (and hence
+		// the mean, bit for bit) is independent of worker count.
+		type firstFires struct{ p1, p2, c int }
+		firsts := make([]firstFires, l.world.NumUsers())
 		err = l.forEachUser(func(id int) error {
 			cd, err := core.NewCombinedDetector(profiles[id])
 			if err != nil {
@@ -99,28 +101,30 @@ func Combined(l *Lab) (*CombinedResult, error) {
 					break // nothing further can change first-fire points
 				}
 			}
-			mu.Lock()
-			defer mu.Unlock()
-			total := totals[id]
-			if total == 0 {
-				return nil
-			}
-			if firstP1 > 0 {
-				row.DetectedP1++
-				sumP1 += float64(firstP1) / float64(total)
-			}
-			if firstP2 > 0 {
-				row.DetectedP2++
-				sumP2 += float64(firstP2) / float64(total)
-			}
-			if firstC > 0 {
-				row.DetectedCombined++
-				sumC += float64(firstC) / float64(total)
-			}
+			firsts[id] = firstFires{p1: firstP1, p2: firstP2, c: firstC}
 			return nil
 		})
 		if err != nil {
 			return nil, err
+		}
+		var sumP1, sumP2, sumC float64
+		for id, f := range firsts {
+			total := totals[id]
+			if total == 0 {
+				continue
+			}
+			if f.p1 > 0 {
+				row.DetectedP1++
+				sumP1 += float64(f.p1) / float64(total)
+			}
+			if f.p2 > 0 {
+				row.DetectedP2++
+				sumP2 += float64(f.p2) / float64(total)
+			}
+			if f.c > 0 {
+				row.DetectedCombined++
+				sumC += float64(f.c) / float64(total)
+			}
 		}
 		if row.DetectedP1 > 0 {
 			row.MeanFractionP1 = sumP1 / float64(row.DetectedP1)

@@ -6,7 +6,6 @@ import (
 	"io"
 	"math/rand"
 	"strings"
-	"sync"
 	"time"
 
 	"locwatch/internal/core"
@@ -162,8 +161,11 @@ func (l *Lab) detectAll(profiles []*core.Profile, interval time.Duration, phases
 	if err != nil {
 		return nil, err
 	}
-	var mu sync.Mutex
-	var out []DetectionOutcome
+	// Index-ordered reduction: every worker writes its user's slots, so
+	// the outcome order is user-major regardless of worker count or
+	// completion order — a determinism invariant the Workers=1-vs-N
+	// test pins (DESIGN.md §7).
+	out := make([]DetectionOutcome, l.world.NumUsers()*len(patterns))
 	err = l.forEachUser(func(id int) error {
 		denom := totals[id]
 		if phases != nil {
@@ -200,9 +202,7 @@ func (l *Lab) detectAll(profiles []*core.Profile, interval time.Duration, phases
 					o.Fraction = 1
 				}
 			}
-			mu.Lock()
-			out = append(out, o)
-			mu.Unlock()
+			out[id*len(patterns)+i] = o
 		}
 		return nil
 	})

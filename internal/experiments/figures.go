@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"strings"
-	"sync"
 	"time"
 
 	"locwatch/internal/market"
@@ -51,10 +50,9 @@ func Figure2(l *Lab) (*Figure2Result, error) {
 		{10 * time.Minute, 100}, {20 * time.Minute, 100}, {30 * time.Minute, 100},
 	}
 	res := &Figure2Result{}
+	counts := make([]int, l.world.NumUsers())
 	for i, set := range sets {
 		params := poi.Params{Radius: set.radius, MinVisit: set.visit}
-		var mu sync.Mutex
-		total := 0
 		err := l.forEachUser(func(id int) error {
 			src, err := l.world.Trace(id, 0)
 			if err != nil {
@@ -65,17 +63,20 @@ func Figure2(l *Lab) (*Figure2Result, error) {
 			if err != nil {
 				return err
 			}
+			defer ex.Release()
 			if err := trace.ForEach(src, ex.Feed); err != nil {
 				return err
 			}
 			ex.Flush()
-			mu.Lock()
-			total += n
-			mu.Unlock()
+			counts[id] = n
 			return nil
 		})
 		if err != nil {
 			return nil, err
+		}
+		total := 0
+		for _, n := range counts {
+			total += n
 		}
 		res.Rows = append(res.Rows, Figure2Row{
 			SetID: i + 1, VisitTime: set.visit, Radius: set.radius, PoIs: total,

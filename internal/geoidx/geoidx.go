@@ -122,14 +122,28 @@ func (ix *Index) Within(p geo.LatLon, radius float64) []Entry {
 // containing p — the paper's pattern-1 "region". Cells are squares of
 // the index cell size.
 func (ix *Index) RegionID(p geo.LatLon) string {
-	// Built by hand rather than with fmt: this runs once per fix on the
-	// detection hot path, and the output is identical to the historical
-	// Sprintf("r%d:%d", …) form.
 	k := ix.key(p)
+	return ix.RegionIDOfCell(k.X, k.Y)
+}
+
+// Cell returns the integer grid coordinates of the cell containing p.
+// It is the allocation-free half of RegionID: hot loops compare cell
+// coordinates per fix and materialize the string identifier (via
+// RegionIDOfCell) only when the cell actually changes.
+func (ix *Index) Cell(p geo.LatLon) (x, y int) {
+	k := ix.key(p)
+	return k.X, k.Y
+}
+
+// RegionIDOfCell returns the region identifier of the given grid cell
+// coordinates; RegionID(p) == RegionIDOfCell(Cell(p)).
+func (ix *Index) RegionIDOfCell(x, y int) string {
+	// Built by hand rather than with fmt: the output is identical to the
+	// historical Sprintf("r%d:%d", …) form.
 	buf := make([]byte, 0, 24)
 	buf = append(buf, 'r')
-	buf = strconv.AppendInt(buf, int64(k.X), 10)
+	buf = strconv.AppendInt(buf, int64(x), 10)
 	buf = append(buf, ':')
-	buf = strconv.AppendInt(buf, int64(k.Y), 10)
+	buf = strconv.AppendInt(buf, int64(y), 10)
 	return string(buf)
 }

@@ -1,0 +1,56 @@
+package mobility
+
+import (
+	"errors"
+	"io"
+	"testing"
+)
+
+// drainTrace replays one user's full trace and returns the fix count.
+func drainTrace(t testing.TB, w *World, id int) int {
+	t.Helper()
+	src, err := w.Trace(id, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		_, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			return n
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+}
+
+// TestReplayAllocBudget pins the pooled replay path's steady-state
+// allocation behavior: with the world's day plans and the fix-buffer
+// pool warm, replaying a full multi-day trace must stay within a small
+// fixed allocation budget — the source struct, its noise RNG, and
+// io.EOF bookkeeping — independent of the tens of thousands of fixes
+// emitted. A regression here (a per-leg or per-fix allocation creeping
+// back in) multiplies the budget by orders of magnitude, so the bound
+// is deliberately loose on the constant and tight on the asymptotics.
+func TestReplayAllocBudget(t *testing.T) {
+	w := mustWorld(t, testConfig())
+	// Warm the day-plan cache and the fix-buffer pool for every user.
+	for id := 0; id < w.NumUsers(); id++ {
+		if n := drainTrace(t, w, id); n == 0 {
+			t.Fatalf("user %d: empty trace", id)
+		}
+	}
+
+	const budget = 64 // allocations per full-trace replay, pool warm
+	avg := testing.AllocsPerRun(3, func() {
+		for id := 0; id < w.NumUsers(); id++ {
+			drainTrace(t, w, id)
+		}
+	})
+	perReplay := avg / float64(w.NumUsers())
+	if perReplay > budget {
+		t.Fatalf("replay allocates %.1f allocs per full trace (budget %d): a per-leg or per-fix allocation has crept into the pooled path", perReplay, budget)
+	}
+}

@@ -5,8 +5,10 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"sync"
 	"time"
 
+	"locwatch/internal/geo"
 	"locwatch/internal/trace"
 )
 
@@ -14,6 +16,14 @@ import (
 // Day plans come from the World's shared memoized cache, so a source
 // holds no per-day build state of its own; the per-source state is the
 // emission clock, the leg/segment cursors, and the noise RNG.
+//
+// Fixes are generated leg-at-a-time into a pooled batch buffer and
+// handed out one by one from it: the per-fix work in Next collapses to
+// a bounds check and a copy, while timestamps, interpolation and noise
+// run as slice kernels over whole legs. The batch fill replicates the
+// former per-fix loop exactly — same time stepping, same segment-cursor
+// interpolation, same two noise draws per fix in emission order — so
+// the stream is bit-identical (guarded by the fast-path golden test).
 type userSource struct {
 	w        *World
 	u        *User
@@ -27,11 +37,45 @@ type userSource struct {
 	t      time.Time
 	inited bool
 
+	buf  *fixBuf // pooled batch storage; nil until first refill
+	rd   int     // read cursor into buf.pts[:n]
+	n    int     // fixes in the current batch
+	done bool    // EOF reached; buf released
+
 	// timesOnly skips geometry and noise: the source emits the exact
 	// timestamp sequence of the full stream with zero positions, which
 	// is all counting consumers need.
 	timesOnly bool
 }
+
+// fixBatchMax bounds one batch fill: long stay legs are emitted in
+// chunks of this many fixes, keeping pooled buffers at a fixed modest
+// footprint regardless of leg length.
+const fixBatchMax = 1024
+
+// fixBuf is the pooled per-source batch arena: the emitted points plus
+// the SoA scratch (positions, noise displacements, interpolation
+// fractions) the batch kernels run over. Sources take one from the pool
+// on first refill and return it at EOF, so steady-state trace replay
+// allocates nothing per leg. Sources abandoned before EOF simply leak
+// their buffer to the GC — correct, just unpooled.
+type fixBuf struct {
+	pts   []trace.Point
+	pos   []geo.LatLon
+	east  []float64
+	north []float64
+	fs    []float64
+}
+
+var fixBufPool = sync.Pool{New: func() any {
+	return &fixBuf{
+		pts:   make([]trace.Point, fixBatchMax),
+		pos:   make([]geo.LatLon, fixBatchMax),
+		east:  make([]float64, fixBatchMax),
+		north: make([]float64, fixBatchMax),
+		fs:    make([]float64, fixBatchMax),
+	}
+}}
 
 // Trace returns a streaming full-period GPS source for the user.
 //
@@ -81,10 +125,31 @@ var _ trace.Source = (*userSource)(nil)
 
 // Next implements trace.Source.
 func (s *userSource) Next() (trace.Point, error) {
+	if s.rd < s.n {
+		p := s.buf.pts[s.rd]
+		s.rd++
+		return p, nil
+	}
+	if err := s.refill(); err != nil {
+		return trace.Point{}, err
+	}
+	s.rd = 1
+	return s.buf.pts[0], nil
+}
+
+// refill advances the leg/day cursors exactly like the former per-fix
+// loop and batch-fills the next chunk of fixes. On success the buffer
+// holds at least one point.
+func (s *userSource) refill() error {
+	if s.done {
+		return io.EOF
+	}
 	for {
 		if !s.inited || s.legIdx >= len(s.legs) {
 			if !s.advanceDay() {
-				return trace.Point{}, io.EOF
+				s.done = true
+				s.releaseBuf()
+				return io.EOF
 			}
 			continue
 		}
@@ -107,18 +172,137 @@ func (s *userSource) Next() (trace.Point, error) {
 			s.nextLeg()
 			continue
 		}
-		p := trace.Point{T: s.t}
-		if !s.timesOnly {
-			pos := l.posAtFrom(s.t, &s.seg)
-			if sigma := s.w.cfg.NoiseSigma; sigma > 0 {
-				east, north := noiseOffset(s.noise, sigma)
-				pos = s.w.proj.Offset(pos, east, north)
+		s.fillLeg(l)
+		return nil
+	}
+}
+
+// fillLeg emits up to fixBatchMax fixes of the current leg into the
+// batch buffer, starting at the (already clamped) emission clock s.t.
+// The emission count is the number of interval steps that fit before
+// the recorded end of the leg — the same fixes the per-fix loop would
+// have produced one at a time.
+func (s *userSource) fillLeg(l *leg) {
+	tEnd := l.end
+	if !l.recTo.IsZero() && l.recTo.Before(tEnd) {
+		tEnd = l.recTo
+	}
+	n := int(tEnd.Sub(s.t)/s.interval) + 1
+	if n > fixBatchMax {
+		n = fixBatchMax
+	}
+	if s.buf == nil {
+		s.buf = fixBufPool.Get().(*fixBuf)
+	}
+	b := s.buf
+	pts := b.pts[:n]
+	t := s.t
+	for i := range pts {
+		pts[i] = trace.Point{T: t}
+		t = t.Add(s.interval)
+	}
+	if !s.timesOnly {
+		pos := b.pos[:n]
+		s.fillPositions(l, pts, pos)
+		if sigma := s.w.cfg.NoiseSigma; sigma > 0 {
+			east, north := b.east[:n], b.north[:n]
+			for i := range east {
+				east[i], north[i] = noiseOffset(s.noise, sigma)
 			}
-			p.Pos = pos
+			s.w.proj.OffsetBatch(pos, east, north)
 		}
-		s.t = s.t.Add(s.interval)
-		s.w.metrics.Fixes.Inc()
-		return p, nil
+		for i := range pts {
+			pts[i].Pos = pos[i]
+		}
+	}
+	s.t = t
+	s.rd, s.n = 0, n
+	s.w.metrics.Fixes.Add(uint64(n))
+}
+
+// fillPositions computes the noiseless positions of the batch: a
+// constant venue position for stays, batched segment interpolation for
+// travel. The travel path replicates posAtFrom per fix — same fraction
+// and target arithmetic, same monotone segment cursor (s.seg persists
+// across chunks of one leg), same clamping — grouping consecutive
+// fixes that land in one segment into a geo.InterpolateBatch call.
+func (s *userSource) fillPositions(l *leg, pts []trace.Point, pos []geo.LatLon) {
+	if l.kind == stayLeg {
+		for i := range pos {
+			pos[i] = l.venue.Pos
+		}
+		return
+	}
+	dur := l.duration()
+	last := l.path[len(l.path)-1]
+	if dur <= 0 {
+		for i := range pos {
+			pos[i] = last
+		}
+		return
+	}
+	total := l.cum[len(l.cum)-1]
+	fs := s.buf.fs[:len(pos)]
+	for i := 0; i < len(pos); {
+		frac := float64(pts[i].T.Sub(l.start)) / float64(dur)
+		if frac <= 0 {
+			pos[i] = l.path[0]
+			i++
+			continue
+		}
+		if frac >= 1 {
+			pos[i] = last
+			i++
+			continue
+		}
+		target := frac * total
+		seg := s.seg
+		if seg < 1 {
+			seg = 1
+		}
+		for ; seg < len(l.cum); seg++ {
+			if target <= l.cum[seg] {
+				break
+			}
+		}
+		if seg == len(l.cum) {
+			// Past the last cumulative mark (float round-off): the scan
+			// exhausts without moving the cursor, like posAtFrom.
+			pos[i] = last
+			i++
+			continue
+		}
+		s.seg = seg
+		segLen := l.cum[seg] - l.cum[seg-1]
+		if segLen <= 0 {
+			pos[i] = l.path[seg]
+			i++
+			continue
+		}
+		// Batch every following fix that stays inside this segment.
+		j := i
+		for j < len(pos) {
+			fj := float64(pts[j].T.Sub(l.start)) / float64(dur)
+			if fj >= 1 {
+				break
+			}
+			tj := fj * total
+			if tj > l.cum[seg] {
+				break
+			}
+			fs[j] = (tj - l.cum[seg-1]) / segLen
+			j++
+		}
+		geo.InterpolateBatch(pos[i:j], l.path[seg-1], l.path[seg], fs[i:j])
+		i = j
+	}
+}
+
+// releaseBuf returns the batch buffer to the pool at end of stream.
+func (s *userSource) releaseBuf() {
+	if s.buf != nil {
+		fixBufPool.Put(s.buf)
+		s.buf = nil
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"locwatch/internal/geo"
@@ -90,57 +91,96 @@ func (p Params) withDefaults() (Params, error) {
 // centroid. It always retains at least two points regardless of age so
 // the extractor keeps working on sparsely sampled traces, where an
 // entire access interval can exceed the nominal window span.
+//
+// The buffer is stored as structure-of-arrays — timestamps as int64
+// UnixNano, coordinates as parallel float slices — so the per-fix hot
+// path (add + evict + halves) runs integer compares and straight float
+// loops over the geo SoA kernels instead of time.Time method calls and
+// struct copies. Eviction advances a head index; the backing arrays are
+// compacted when the dead prefix dominates, so steady-state operation
+// never reallocates.
 type window struct {
-	pts      []trace.Point
+	ts       []int64 // UnixNano
+	lat      []float64
+	lon      []float64
+	head     int // live region is [head:len]
 	centroid geo.RunningCentroid
-	span     time.Duration
+	span     int64          // nanos
+	scratch  *windowScratch // pool ticket while borrowing; nil otherwise
 }
 
-func (w *window) add(p trace.Point) {
-	w.pts = append(w.pts, p)
-	w.centroid.Add(p.Pos)
-	w.evict(p.T)
+func (w *window) add(tn int64, pos geo.LatLon) {
+	if w.head > 32 && w.head > len(w.ts)/2 {
+		w.compact()
+	}
+	w.ts = append(w.ts, tn)
+	w.lat = append(w.lat, pos.Lat)
+	w.lon = append(w.lon, pos.Lon)
+	w.centroid.Add(pos)
+	w.evict(tn)
 }
 
-func (w *window) evict(now time.Time) {
-	for len(w.pts) > 2 && now.Sub(w.pts[0].T) > w.span {
-		w.centroid.Remove(w.pts[0].Pos)
-		w.pts = w.pts[1:]
+// compact copies the live region to the front of the backing arrays so
+// append reuses their capacity instead of growing forever.
+func (w *window) compact() {
+	n := copy(w.ts, w.ts[w.head:])
+	copy(w.lat, w.lat[w.head:])
+	copy(w.lon, w.lon[w.head:])
+	w.ts = w.ts[:n]
+	w.lat = w.lat[:n]
+	w.lon = w.lon[:n]
+	w.head = 0
+}
+
+func (w *window) evict(now int64) {
+	for len(w.ts)-w.head > 2 && now-w.ts[w.head] > w.span {
+		w.centroid.Remove(geo.AtSoA(w.lat, w.lon, w.head))
+		w.head++
 	}
 }
 
 func (w *window) reset() {
-	w.pts = w.pts[:0]
+	w.ts = w.ts[:0]
+	w.lat = w.lat[:0]
+	w.lon = w.lon[:0]
+	w.head = 0
 	w.centroid.Reset()
 }
 
-func (w *window) len() int { return len(w.pts) }
+func (w *window) len() int { return len(w.ts) - w.head }
+
+// first returns the timestamp of the oldest buffered point.
+func (w *window) first() int64 { return w.ts[w.head] }
 
 // halves splits the buffered points at their temporal midpoint and
 // returns the centroids of the older and newer halves. With fewer than
 // two points ok is false. If the temporal split degenerates (all mass
 // on one side), it falls back to an index split.
 func (w *window) halves() (older, newer geo.LatLon, ok bool) {
-	n := len(w.pts)
+	ts := w.ts[w.head:]
+	n := len(ts)
 	if n < 2 {
 		return geo.LatLon{}, geo.LatLon{}, false
 	}
-	mid := w.pts[0].T.Add(w.pts[n-1].T.Sub(w.pts[0].T) / 2)
+	// Same integer arithmetic as the former time.Time form
+	// first.Add(last.Sub(first)/2); the scan condition ts[i] <= mid is
+	// exactly !ts[i].After(mid).
+	mid := ts[0] + (ts[n-1]-ts[0])/2
 	split := 0
-	for split < n && !w.pts[split].T.After(mid) {
+	for split < n && ts[split] <= mid {
 		split++
 	}
 	if split == 0 || split == n {
 		split = n / 2
 	}
-	var a, b geo.RunningCentroid
-	for _, p := range w.pts[:split] {
-		a.Add(p.Pos)
-	}
-	for _, p := range w.pts[split:] {
-		b.Add(p.Pos)
-	}
-	return a.Value(), b.Value(), true
+	lat := w.lat[w.head:]
+	lon := w.lon[w.head:]
+	// Fresh left-to-right sums each call (geo.CentroidSoA) — NOT an
+	// incremental split centroid: float addition is order-sensitive in
+	// the last bits, and the determinism suite pins these bits.
+	older = geo.CentroidSoA(lat[:split], lon[:split])
+	newer = geo.CentroidSoA(lat[split:n], lon[split:n])
+	return older, newer, true
 }
 
 // Extractor is the streaming Spatio-Temporal buffer extractor. Feed it
@@ -156,11 +196,12 @@ type Extractor struct {
 	entry    window // buf_Entry while searching
 	exit     window // buf_Exit while inside a PoI
 	poi      geo.RunningCentroid
-	poiStart time.Time
-	poiLast  time.Time
+	poiStart int64 // UnixNano
+	poiLast  int64 // UnixNano
 	poiN     int
 
-	last     time.Time
+	maxGap   int64 // params.MaxGap in nanos
+	last     int64 // UnixNano of the previous point
 	anyPoint bool
 }
 
@@ -174,38 +215,48 @@ func NewExtractor(params Params, emit func(StayPoint)) (*Extractor, error) {
 	if emit == nil {
 		return nil, errors.New("poi: nil emit callback")
 	}
-	e := &Extractor{params: p, emit: emit}
-	e.entry.span = p.Window
-	e.exit.span = p.Window
+	e := &Extractor{params: p, emit: emit, maxGap: int64(p.MaxGap)}
+	e.entry.span = int64(p.Window)
+	e.exit.span = int64(p.Window)
+	e.entry.borrow()
+	e.exit.borrow()
 	return e, nil
 }
+
+// unixUTC converts a stored UnixNano back to the time.Time the point
+// arrived with. For the UTC wall-clock times traces carry (no monotonic
+// reading), the round trip reproduces the identical struct
+// representation, so emitted StayPoint times still compare == to the
+// source points'.
+func unixUTC(ns int64) time.Time { return time.Unix(0, ns).UTC() }
 
 // Feed processes the next point. Points must be in non-decreasing time
 // order; violations return an error and leave the extractor unchanged.
 func (e *Extractor) Feed(p trace.Point) error {
-	if e.anyPoint && p.T.Before(e.last) {
-		return fmt.Errorf("poi: out-of-order point %v before %v", p.T, e.last)
+	tn := p.T.UnixNano()
+	if e.anyPoint && tn < e.last {
+		return fmt.Errorf("poi: out-of-order point %v before %v", p.T, unixUTC(e.last))
 	}
-	if e.anyPoint && p.T.Sub(e.last) > e.params.MaxGap {
+	if e.anyPoint && tn-e.last > e.maxGap {
 		// Trace break: close any open stay and restart cleanly.
 		e.closePoI()
 		e.entry.reset()
 		e.exit.reset()
 	}
-	e.last = p.T
+	e.last = tn
 	e.anyPoint = true
 	e.params.Obs.Points.Inc()
 
 	if e.inPoI {
-		e.feedInside(p)
+		e.feedInside(tn, p.Pos)
 	} else {
-		e.feedSearching(p)
+		e.feedSearching(tn, p.Pos)
 	}
 	return nil
 }
 
-func (e *Extractor) feedSearching(p trace.Point) {
-	e.entry.add(p)
+func (e *Extractor) feedSearching(tn int64, pos geo.LatLon) {
+	e.entry.add(tn, pos)
 	older, newer, ok := e.entry.halves()
 	if !ok {
 		return
@@ -218,21 +269,19 @@ func (e *Extractor) feedSearching(p trace.Point) {
 	// "overlap" of the paper's buffer layout.
 	e.inPoI = true
 	e.poi.Reset()
-	for _, q := range e.entry.pts {
-		e.poi.Add(q.Pos)
-	}
-	e.poiStart = e.entry.pts[0].T
-	e.poiLast = p.T
+	e.poi.AddSoA(e.entry.lat[e.entry.head:], e.entry.lon[e.entry.head:])
+	e.poiStart = e.entry.first()
+	e.poiLast = tn
 	e.poiN = e.entry.len()
 	e.exit.reset()
 	e.entry.reset()
 }
 
-func (e *Extractor) feedInside(p trace.Point) {
-	e.poi.Add(p.Pos)
+func (e *Extractor) feedInside(tn int64, pos geo.LatLon) {
+	e.poi.Add(pos)
 	e.poiN++
-	e.poiLast = p.T
-	e.exit.add(p)
+	e.poiLast = tn
+	e.exit.add(tn, pos)
 	if e.exit.len() < 2 {
 		return
 	}
@@ -242,32 +291,31 @@ func (e *Extractor) feedInside(p trace.Point) {
 	// The exit buffer has drifted away from the stay centroid: the user
 	// left. The stay ends when the exit buffer began filling with
 	// departing fixes; remove those fixes from the stay centroid.
-	exitStart := e.exit.pts[0].T
-	for _, q := range e.exit.pts {
-		e.poi.Remove(q.Pos)
-		e.poiN--
-	}
+	exitStart := e.exit.first()
+	h := e.exit.head
+	e.poi.RemoveSoA(e.exit.lat[h:], e.exit.lon[h:])
+	e.poiN -= e.exit.len()
 	e.emitIf(exitStart)
 	// Departing fixes become the next search window.
 	e.inPoI = false
 	e.entry.reset()
-	for _, q := range e.exit.pts {
-		e.entry.add(q)
+	for i := h; i < len(e.exit.ts); i++ {
+		e.entry.add(e.exit.ts[i], geo.AtSoA(e.exit.lat, e.exit.lon, i))
 	}
 	e.exit.reset()
 }
 
 // emitIf emits the current stay if it lasted at least MinVisit.
-func (e *Extractor) emitIf(end time.Time) {
+func (e *Extractor) emitIf(end int64) {
 	if !e.inPoI {
 		return
 	}
-	if end.Sub(e.poiStart) >= e.params.MinVisit && e.poiN > 0 {
+	if end-e.poiStart >= int64(e.params.MinVisit) && e.poiN > 0 {
 		e.params.Obs.Stays.Inc()
 		e.emit(StayPoint{
 			Pos:     e.poi.Value(),
-			Enter:   e.poiStart,
-			Exit:    end,
+			Enter:   unixUTC(e.poiStart),
+			Exit:    unixUTC(end),
 			NPoints: e.poiN,
 		})
 	}
@@ -292,6 +340,58 @@ func (e *Extractor) Flush() {
 	e.anyPoint = false
 }
 
+// windowScratch is the pooled backing storage of one window. Sweeps
+// build thousands of short-lived extractors (one per user × interval ×
+// defense); recycling the grown arrays keeps their steady-state
+// allocation near zero. The *windowScratch acts as a pool ticket: the
+// window holds it while borrowing so release can hand the (possibly
+// regrown) arrays back without allocating a new header.
+type windowScratch struct {
+	ts  []int64
+	lat []float64
+	lon []float64
+}
+
+var windowPool = sync.Pool{New: func() any { return new(windowScratch) }}
+
+// borrow points the window at pooled backing arrays.
+func (w *window) borrow() {
+	s := windowPool.Get().(*windowScratch)
+	w.scratch = s
+	w.ts = s.ts[:0]
+	w.lat = s.lat[:0]
+	w.lon = s.lon[:0]
+	w.head = 0
+}
+
+// release returns the window's backing arrays to the pool. A window
+// that never borrowed (or already released) is left untouched; a
+// released window still works, it just grows fresh unpooled arrays.
+func (w *window) release() {
+	s := w.scratch
+	if s == nil {
+		return
+	}
+	s.ts = w.ts[:0]
+	s.lat = w.lat[:0]
+	s.lon = w.lon[:0]
+	windowPool.Put(s)
+	w.scratch = nil
+	w.ts, w.lat, w.lon = nil, nil, nil
+	w.head = 0
+	w.centroid.Reset()
+}
+
+// Release returns the extractor's internal buffers to a package pool
+// for reuse by future extractors. Call it only when the extractor will
+// never be fed again (after the final Flush); the convenience drivers
+// Extract/ExtractStayPoints and core.BuildProfile do so themselves.
+// Release is idempotent.
+func (e *Extractor) Release() {
+	e.entry.release()
+	e.exit.release()
+}
+
 // Extract runs the extractor over an entire source and returns the
 // stays in order. It is a convenience for tests and small traces; large
 // experiments feed extractors incrementally.
@@ -314,5 +414,6 @@ func Extract(src trace.Source, params Params) ([]StayPoint, error) {
 		}
 	}
 	ex.Flush()
+	ex.Release()
 	return out, nil
 }

@@ -1,19 +1,25 @@
 // Command benchjson runs the repository's benchmark suites (the root
 // figure/ablation suite plus any extra packages named with -pkgs) and
-// records the ns/op trajectory as a JSON artifact (BENCH_<n>.json, one
-// per optimization PR). Each artifact holds a "before" and an "after"
-// column so the speedup of the change that introduced it stays
-// reviewable long after the baseline machine is gone.
+// records the ns/op and allocs/op trajectory as a JSON artifact
+// (BENCH_<n>.json, one per optimization PR). Each artifact holds a
+// "before" and an "after" column so the speedup of the change that
+// introduced it stays reviewable long after the baseline machine is
+// gone.
 //
 // Typical uses:
 //
-//	go run ./scripts/benchjson -benchtime 1x -keep-before -out BENCH_3.json
+//	go run ./scripts/benchjson -benchtime 1x -keep-before -out BENCH_8.json
 //	    re-runs the suite and refreshes the "after" column, keeping the
 //	    checked-in "before" baseline (what `make bench` does);
 //
-//	go run ./scripts/benchjson -input after.txt -before before.txt -out BENCH_3.json
+//	go run ./scripts/benchjson -input after.txt -before before.txt -out BENCH_8.json
 //	    builds the artifact from two saved `go test -bench` outputs
-//	    without running anything.
+//	    without running anything;
+//
+//	go run ./scripts/benchjson -compare-old base.json -compare-new BENCH_8.json
+//	    diffs the after columns of two artifacts and emits GitHub
+//	    ::warning:: annotations for regressions past -regress-pct. The
+//	    exit status is always success — the CI bench job is non-gating.
 //
 // Numbers from different machines are not comparable; only the
 // before/after pair inside one artifact is, since both columns come
@@ -34,7 +40,9 @@ import (
 	"strings"
 )
 
-// Artifact is the schema of a BENCH_<n>.json file.
+// Artifact is the schema of a BENCH_<n>.json file. v2 adds the
+// allocs/op columns; v1 artifacts (ns only) still unmarshal, their
+// alloc maps just come back empty.
 type Artifact struct {
 	Schema string `json:"schema"`
 	Config struct {
@@ -42,10 +50,16 @@ type Artifact struct {
 		Benchtime string `json:"benchtime"`
 		Count     int    `json:"count"`
 	} `json:"config"`
-	// Before and After map benchmark name to ns/op.
-	Before  map[string]float64 `json:"before"`
-	After   map[string]float64 `json:"after"`
-	Speedup map[string]float64 `json:"speedup,omitempty"`
+	// Before and After map benchmark name to ns/op; the Allocs maps
+	// carry allocs/op for benchmarks measured with -benchmem.
+	Before       map[string]float64 `json:"before"`
+	After        map[string]float64 `json:"after"`
+	BeforeAllocs map[string]float64 `json:"before_allocs,omitempty"`
+	AfterAllocs  map[string]float64 `json:"after_allocs,omitempty"`
+	// Speedup is before/after ns; AllocRatio is before/after allocs
+	// (omitted for a benchmark when after reaches zero allocations).
+	Speedup    map[string]float64 `json:"speedup,omitempty"`
+	AllocRatio map[string]float64 `json:"alloc_ratio,omitempty"`
 	// Aggregate summarizes the shared-Lab figure and ablation
 	// benchmarks, the suite the optimization PRs target.
 	Aggregate *Aggregate `json:"aggregate,omitempty"`
@@ -59,13 +73,21 @@ type Aggregate struct {
 	Speedup  float64 `json:"speedup"`
 }
 
+// column is one measured side of an artifact: ns/op per benchmark,
+// plus allocs/op where the run carried -benchmem.
+type column struct {
+	ns     map[string]float64
+	allocs map[string]float64
+}
+
 // aggregatePattern selects the benchmarks that share one Lab — the
 // population whose aggregate speedup the perf PRs are judged on.
 var aggregatePattern = regexp.MustCompile(`^Benchmark(Figure[2-5]|Ablation)`)
 
 // benchLine matches one `go test -bench` result line; the trailing
-// -<GOMAXPROCS> suffix is stripped from the name.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// -<GOMAXPROCS> suffix is stripped from the name and the -benchmem
+// tail is captured when present.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op\s+([0-9]+) allocs/op)?`)
 
 func main() {
 	log.SetFlags(0)
@@ -81,7 +103,7 @@ func main() {
 // as "no change".
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
-	out := fs.String("out", "BENCH_3.json", "artifact to write")
+	out := fs.String("out", "BENCH_8.json", "artifact to write")
 	bench := fs.String("bench", ".", "benchmark pattern passed to go test -bench")
 	benchtime := fs.String("benchtime", "1x", "passed to go test -benchtime")
 	count := fs.Int("count", 1, "passed to go test -count; min ns/op per benchmark is kept")
@@ -89,15 +111,25 @@ func run(args []string, stdout io.Writer) error {
 	before := fs.String("before", "", "parse this saved go-test output as the before column")
 	keepBefore := fs.Bool("keep-before", false, "reuse the before column of the existing -out artifact")
 	pkgs := fs.String("pkgs", ".", "comma-separated packages whose benchmarks feed the after column")
+	compareOld := fs.String("compare-old", "", "baseline artifact for compare mode")
+	compareNew := fs.String("compare-new", "", "fresh artifact for compare mode")
+	regressPct := fs.Float64("regress-pct", 10, "compare mode: annotate after-column regressions beyond this percentage")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *compareOld != "" || *compareNew != "" {
+		if *compareOld == "" || *compareNew == "" {
+			return fmt.Errorf("compare mode needs both -compare-old and -compare-new")
+		}
+		return compare(stdout, *compareOld, *compareNew, *regressPct)
 	}
 
 	after, err := afterColumn(*input, *bench, *benchtime, *count, splitPkgs(*pkgs))
 	if err != nil {
 		return err
 	}
-	if len(after) == 0 {
+	if len(after.ns) == 0 {
 		if *input != "" {
 			return fmt.Errorf("no benchmark result lines in %s; refusing to write a degenerate %s (expected `go test -bench` output)", *input, *out)
 		}
@@ -105,9 +137,11 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	art := &Artifact{
-		Schema: "locwatch-bench/v1",
-		Before: map[string]float64{},
-		After:  after,
+		Schema:       "locwatch-bench/v2",
+		Before:       map[string]float64{},
+		After:        after.ns,
+		AfterAllocs:  after.allocs,
+		BeforeAllocs: map[string]float64{},
 	}
 	art.Config.Bench = *bench
 	art.Config.Benchtime = *benchtime
@@ -115,18 +149,26 @@ func run(args []string, stdout io.Writer) error {
 
 	switch {
 	case *before != "":
-		art.Before, err = parseFile(*before)
+		col, err := parseFile(*before)
 		if err != nil {
 			return err
 		}
-		if len(art.Before) == 0 {
+		if len(col.ns) == 0 {
 			return fmt.Errorf("no benchmark result lines in baseline %s; pass a saved `go test -bench` output as -before", *before)
 		}
+		art.Before, art.BeforeAllocs = col.ns, col.allocs
 	case *keepBefore:
-		art.Before, err = beforeFromArtifact(*out)
+		art.Before, art.BeforeAllocs, err = beforeFromArtifact(*out)
 		if err != nil {
 			return err
 		}
+	}
+
+	// A baseline benchmark that vanished from the fresh run means the
+	// artifact would silently stop tracking it (a rename, a deleted
+	// bench, or a broken -pkgs list). Refuse rather than hide it.
+	if missing := missingFromAfter(art.Before, art.After); len(missing) > 0 {
+		return fmt.Errorf("baseline benchmarks missing from the fresh run: %s (renamed or deleted? rebuild the before column)", strings.Join(missing, ", "))
 	}
 
 	fillSpeedups(art)
@@ -140,22 +182,37 @@ func run(args []string, stdout io.Writer) error {
 	return report(stdout, art, *out)
 }
 
+// missingFromAfter returns the sorted baseline names absent from the
+// fresh column.
+func missingFromAfter(before, after map[string]float64) []string {
+	var missing []string
+	for name := range before {
+		if _, ok := after[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	return missing
+}
+
 // afterColumn obtains the fresh measurements: either by parsing a
 // saved run, or by running the benchmark suites of pkgs in one
-// `go test` invocation. Benchmark names must be unique across the
-// listed packages — parse keys on the bare name, so a collision would
+// `go test` invocation (always with -benchmem, so the alloc columns
+// are populated). Benchmark names must be unique across the listed
+// packages — parse keys on the bare name, so a collision would
 // silently keep only the faster of the two.
-func afterColumn(input, bench, benchtime string, count int, pkgs []string) (map[string]float64, error) {
+func afterColumn(input, bench, benchtime string, count int, pkgs []string) (column, error) {
 	if input != "" {
 		return parseFile(input)
 	}
 	// Benchmarks only (-run '^$'), verbose enough to parse.
 	cmd := exec.Command("go", append([]string{"test", "-run", "^$",
-		"-bench", bench, "-benchtime", benchtime, "-count", strconv.Itoa(count)}, pkgs...)...)
+		"-bench", bench, "-benchtime", benchtime, "-benchmem",
+		"-count", strconv.Itoa(count)}, pkgs...)...)
 	cmd.Stderr = os.Stderr
 	outBuf, err := cmd.Output()
 	if err != nil {
-		return nil, fmt.Errorf("go test -bench: %w", err)
+		return column{}, fmt.Errorf("go test -bench: %w", err)
 	}
 	return parse(string(outBuf))
 }
@@ -176,18 +233,19 @@ func splitPkgs(s string) []string {
 }
 
 // parseFile parses a saved `go test -bench` output file.
-func parseFile(path string) (map[string]float64, error) {
+func parseFile(path string) (column, error) {
 	buf, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return column{}, err
 	}
 	return parse(string(buf))
 }
 
-// parse extracts ns/op per benchmark; with repeated lines (-count > 1)
-// the minimum is kept, the usual noise-robust reading.
-func parse(out string) (map[string]float64, error) {
-	results := map[string]float64{}
+// parse extracts ns/op (and allocs/op when -benchmem ran) per
+// benchmark; with repeated lines (-count > 1) the minimum of each
+// metric is kept, the usual noise-robust reading.
+func parse(out string) (column, error) {
+	col := column{ns: map[string]float64{}, allocs: map[string]float64{}}
 	for _, line := range regexp.MustCompile(`\r?\n`).Split(out, -1) {
 		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
@@ -195,38 +253,52 @@ func parse(out string) (map[string]float64, error) {
 		}
 		ns, err := strconv.ParseFloat(m[2], 64)
 		if err != nil {
-			return nil, fmt.Errorf("parse %q: %w", line, err)
+			return column{}, fmt.Errorf("parse %q: %w", line, err)
 		}
-		if prev, ok := results[m[1]]; !ok || ns < prev {
-			results[m[1]] = ns
+		if prev, ok := col.ns[m[1]]; !ok || ns < prev {
+			col.ns[m[1]] = ns
+		}
+		if m[4] == "" {
+			continue
+		}
+		allocs, err := strconv.ParseFloat(m[4], 64)
+		if err != nil {
+			return column{}, fmt.Errorf("parse %q: %w", line, err)
+		}
+		if prev, ok := col.allocs[m[1]]; !ok || allocs < prev {
+			col.allocs[m[1]] = allocs
 		}
 	}
-	return results, nil
+	return col, nil
 }
 
-// beforeFromArtifact reads the before column of an existing artifact;
+// beforeFromArtifact reads the before columns of an existing artifact;
 // a missing file yields an empty baseline rather than an error so the
-// first `make bench` on a fresh branch still works.
-func beforeFromArtifact(path string) (map[string]float64, error) {
+// first `make bench` on a fresh branch still works. v1 artifacts have
+// no alloc column — the ns baseline is kept and allocs start empty.
+func beforeFromArtifact(path string) (map[string]float64, map[string]float64, error) {
 	buf, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
-		return map[string]float64{}, nil
+		return map[string]float64{}, map[string]float64{}, nil
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var prev Artifact
 	if err := json.Unmarshal(buf, &prev); err != nil {
-		return nil, fmt.Errorf("existing artifact %s: %w", path, err)
+		return nil, nil, fmt.Errorf("existing artifact %s: %w", path, err)
 	}
 	if prev.Before == nil {
-		return map[string]float64{}, nil
+		prev.Before = map[string]float64{}
 	}
-	return prev.Before, nil
+	if prev.BeforeAllocs == nil {
+		prev.BeforeAllocs = map[string]float64{}
+	}
+	return prev.Before, prev.BeforeAllocs, nil
 }
 
 // fillSpeedups computes per-benchmark and aggregate speedups over the
-// names present in both columns.
+// names present in both columns, plus the alloc-reduction ratios.
 func fillSpeedups(art *Artifact) {
 	if len(art.Before) == 0 {
 		return
@@ -248,13 +320,27 @@ func fillSpeedups(art *Artifact) {
 		agg.Speedup = round2(agg.BeforeNs / agg.AfterNs)
 		art.Aggregate = agg
 	}
+	if len(art.BeforeAllocs) == 0 {
+		return
+	}
+	art.AllocRatio = map[string]float64{}
+	for name, afterAllocs := range art.AfterAllocs {
+		beforeAllocs, ok := art.BeforeAllocs[name]
+		if !ok || afterAllocs <= 0 {
+			// A benchmark that reached zero allocations has no finite
+			// ratio; the report still shows its allocs/op column.
+			continue
+		}
+		art.AllocRatio[name] = round2(beforeAllocs / afterAllocs)
+	}
 }
 
 func round2(v float64) float64 {
 	return float64(int64(v*100+0.5)) / 100
 }
 
-// report prints a short human-readable summary next to the artifact.
+// report prints a short human-readable summary next to the artifact:
+// after-column ns/op and allocs/op with their before/after ratios.
 func report(w io.Writer, art *Artifact, out string) error {
 	names := make([]string, 0, len(art.After))
 	for name := range art.After {
@@ -265,13 +351,17 @@ func report(w io.Writer, art *Artifact, out string) error {
 		return err
 	}
 	for _, name := range names {
-		var err error
+		line := fmt.Sprintf("  %-36s %14.0f ns/op", name, art.After[name])
 		if s, ok := art.Speedup[name]; ok {
-			_, err = fmt.Fprintf(w, "  %-36s %14.0f ns/op  %5.2fx\n", name, art.After[name], s)
-		} else {
-			_, err = fmt.Fprintf(w, "  %-36s %14.0f ns/op\n", name, art.After[name])
+			line += fmt.Sprintf("  %5.2fx", s)
 		}
-		if err != nil {
+		if a, ok := art.AfterAllocs[name]; ok {
+			line += fmt.Sprintf("  %10.0f allocs/op", a)
+			if r, ok := art.AllocRatio[name]; ok {
+				line += fmt.Sprintf("  %6.2fx", r)
+			}
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
 			return err
 		}
 	}
@@ -281,4 +371,69 @@ func report(w io.Writer, art *Artifact, out string) error {
 		}
 	}
 	return nil
+}
+
+// compare diffs the after columns of two artifacts and emits GitHub
+// workflow ::warning:: annotations for every benchmark slower by more
+// than pct percent in the new artifact, or missing from it entirely.
+// It never returns an error for regressions — the CI bench job is
+// informative, not gating — only for unreadable artifacts.
+func compare(w io.Writer, oldPath, newPath string, pct float64) error {
+	oldArt, err := readArtifact(oldPath)
+	if err != nil {
+		return err
+	}
+	newArt, err := readArtifact(newPath)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(oldArt.After))
+	for name := range oldArt.After {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	regressions := 0
+	for _, name := range names {
+		oldNs := oldArt.After[name]
+		newNs, ok := newArt.After[name]
+		if !ok {
+			regressions++
+			if _, err := fmt.Fprintf(w, "::warning::benchmark %s present in %s but missing from %s\n", name, oldPath, newPath); err != nil {
+				return err
+			}
+			continue
+		}
+		if oldNs <= 0 {
+			continue
+		}
+		change := (newNs - oldNs) / oldNs * 100
+		if change > pct {
+			regressions++
+			if _, err := fmt.Fprintf(w, "::warning::benchmark %s regressed %.1f%% (%.0f -> %.0f ns/op)\n", name, change, oldNs, newNs); err != nil {
+				return err
+			}
+		}
+	}
+	if regressions == 0 {
+		_, err := fmt.Fprintf(w, "bench compare: no regressions beyond %.0f%% across %d benchmarks\n", pct, len(names))
+		return err
+	}
+	_, err = fmt.Fprintf(w, "bench compare: %d regression(s) beyond %.0f%% (non-gating)\n", regressions, pct)
+	return err
+}
+
+// readArtifact loads one BENCH_<n>.json.
+func readArtifact(path string) (*Artifact, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var art Artifact
+	if err := json.Unmarshal(buf, &art); err != nil {
+		return nil, fmt.Errorf("artifact %s: %w", path, err)
+	}
+	if len(art.After) == 0 {
+		return nil, fmt.Errorf("artifact %s has an empty after column", path)
+	}
+	return &art, nil
 }

@@ -10,14 +10,14 @@ import (
 )
 
 const sampleAfter = `goos: linux
-BenchmarkFigure2-8                 1    120000000 ns/op
-BenchmarkFigure4a-8                1     60000000 ns/op
+BenchmarkFigure2-8                 1    120000000 ns/op    4000000 B/op     9000 allocs/op
+BenchmarkFigure4a-8                1     60000000 ns/op    2000000 B/op     5000 allocs/op
 BenchmarkTraceGen-8                2      5000000 ns/op
 PASS
 `
 
-const sampleBefore = `BenchmarkFigure2-8                 1    240000000 ns/op
-BenchmarkFigure4a-8                1     90000000 ns/op
+const sampleBefore = `BenchmarkFigure2-8                 1    240000000 ns/op 1280000000 B/op   162000 allocs/op
+BenchmarkFigure4a-8                1     90000000 ns/op    9000000 B/op    20000 allocs/op
 `
 
 func write(t *testing.T, dir, name, content string) string {
@@ -49,17 +49,32 @@ func TestRunBuildsArtifact(t *testing.T) {
 	if err := json.Unmarshal(buf, &art); err != nil {
 		t.Fatal(err)
 	}
+	if art.Schema != "locwatch-bench/v2" {
+		t.Fatalf("schema %q", art.Schema)
+	}
 	if len(art.After) != 3 || len(art.Before) != 2 {
 		t.Fatalf("after %d / before %d benchmarks", len(art.After), len(art.Before))
 	}
 	if s := art.Speedup["BenchmarkFigure2"]; s != 2 {
 		t.Fatalf("Figure2 speedup %v, want 2", s)
 	}
+	if a := art.AfterAllocs["BenchmarkFigure2"]; a != 9000 {
+		t.Fatalf("Figure2 after allocs %v, want 9000", a)
+	}
+	if r := art.AllocRatio["BenchmarkFigure2"]; r != 18 {
+		t.Fatalf("Figure2 alloc ratio %v, want 18", r)
+	}
+	if _, ok := art.AfterAllocs["BenchmarkTraceGen"]; ok {
+		t.Fatal("alloc column invented for a benchmark without -benchmem output")
+	}
 	if art.Aggregate == nil || art.Aggregate.Speedup == 0 {
 		t.Fatal("missing shared-Lab aggregate")
 	}
 	if !strings.Contains(stdout.String(), "wrote "+out) {
 		t.Fatalf("summary missing artifact path: %q", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "allocs/op") {
+		t.Fatalf("summary missing alloc columns: %q", stdout.String())
 	}
 }
 
@@ -98,13 +113,37 @@ func TestRunRefusesEmptyBefore(t *testing.T) {
 	}
 }
 
+func TestRunRefusesVanishedBaselineBench(t *testing.T) {
+	dir := t.TempDir()
+	after := write(t, dir, "after.txt", sampleAfter)
+	before := write(t, dir, "before.txt",
+		sampleBefore+"BenchmarkRenamedAway-8 1 1000 ns/op\n")
+	out := filepath.Join(dir, "BENCH.json")
+
+	err := run([]string{"-input", after, "-before", before, "-out", out}, new(bytes.Buffer))
+	if err == nil {
+		t.Fatal("baseline benchmark missing from the fresh run accepted")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkRenamedAway") {
+		t.Fatalf("error does not name the vanished benchmark: %v", err)
+	}
+	if _, statErr := os.Stat(out); !os.IsNotExist(statErr) {
+		t.Fatalf("artifact written despite vanished baseline bench: %v", statErr)
+	}
+}
+
 func TestParseKeepsMinimum(t *testing.T) {
-	got, err := parse("BenchmarkX-8 1 300 ns/op\nBenchmarkX-8 1 100 ns/op\nBenchmarkX-8 1 200 ns/op\n")
+	got, err := parse("BenchmarkX-8 1 300 ns/op 500 B/op 9 allocs/op\n" +
+		"BenchmarkX-8 1 100 ns/op 400 B/op 7 allocs/op\n" +
+		"BenchmarkX-8 1 200 ns/op 450 B/op 8 allocs/op\n")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got["BenchmarkX"] != 100 {
-		t.Fatalf("min ns/op %v, want 100", got["BenchmarkX"])
+	if got.ns["BenchmarkX"] != 100 {
+		t.Fatalf("min ns/op %v, want 100", got.ns["BenchmarkX"])
+	}
+	if got.allocs["BenchmarkX"] != 7 {
+		t.Fatalf("min allocs/op %v, want 7", got.allocs["BenchmarkX"])
 	}
 }
 
@@ -128,6 +167,81 @@ func TestKeepBeforeMissingArtifact(t *testing.T) {
 	}
 	if len(art.Before) != 0 || len(art.Speedup) != 0 {
 		t.Fatalf("fresh-branch artifact has before=%d speedup=%d entries", len(art.Before), len(art.Speedup))
+	}
+}
+
+func TestKeepBeforePreservesAllocBaseline(t *testing.T) {
+	dir := t.TempDir()
+	after := write(t, dir, "after.txt", sampleAfter)
+	before := write(t, dir, "before.txt", sampleBefore)
+	out := filepath.Join(dir, "BENCH.json")
+
+	if err := run([]string{"-input", after, "-before", before, "-out", out}, new(bytes.Buffer)); err != nil {
+		t.Fatal(err)
+	}
+	// A refresh with -keep-before must carry both ns and alloc
+	// baselines forward from the artifact on disk.
+	if err := run([]string{"-input", after, "-keep-before", "-out", out}, new(bytes.Buffer)); err != nil {
+		t.Fatal(err)
+	}
+	var art Artifact
+	buf, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf, &art); err != nil {
+		t.Fatal(err)
+	}
+	if art.Before["BenchmarkFigure2"] != 240000000 {
+		t.Fatalf("ns baseline lost on refresh: %v", art.Before)
+	}
+	if art.BeforeAllocs["BenchmarkFigure2"] != 162000 {
+		t.Fatalf("alloc baseline lost on refresh: %v", art.BeforeAllocs)
+	}
+	if art.AllocRatio["BenchmarkFigure2"] != 18 {
+		t.Fatalf("alloc ratio lost on refresh: %v", art.AllocRatio)
+	}
+}
+
+func TestCompareMode(t *testing.T) {
+	dir := t.TempDir()
+	oldArt := `{"schema":"locwatch-bench/v2","before":{},"after":{"BenchmarkFigure2":100,"BenchmarkFigure5":200,"BenchmarkGone":50}}`
+	newArt := `{"schema":"locwatch-bench/v2","before":{},"after":{"BenchmarkFigure2":150,"BenchmarkFigure5":205}}`
+	oldPath := write(t, dir, "old.json", oldArt)
+	newPath := write(t, dir, "new.json", newArt)
+
+	var stdout bytes.Buffer
+	// Regressions must not fail the run — the CI job is non-gating.
+	if err := run([]string{"-compare-old", oldPath, "-compare-new", newPath}, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "::warning::benchmark BenchmarkFigure2 regressed 50.0%") {
+		t.Fatalf("missing regression annotation:\n%s", out)
+	}
+	if !strings.Contains(out, "::warning::benchmark BenchmarkGone present in") {
+		t.Fatalf("missing vanished-benchmark annotation:\n%s", out)
+	}
+	if strings.Contains(out, "BenchmarkFigure5 regressed") {
+		t.Fatalf("2.5%% change annotated as a regression:\n%s", out)
+	}
+}
+
+func TestCompareModeClean(t *testing.T) {
+	dir := t.TempDir()
+	art := `{"schema":"locwatch-bench/v2","before":{},"after":{"BenchmarkFigure2":100}}`
+	oldPath := write(t, dir, "old.json", art)
+	newPath := write(t, dir, "new.json", art)
+
+	var stdout bytes.Buffer
+	if err := run([]string{"-compare-old", oldPath, "-compare-new", newPath}, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(stdout.String(), "::warning::") {
+		t.Fatalf("clean compare emitted warnings:\n%s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "no regressions") {
+		t.Fatalf("clean compare missing summary:\n%s", stdout.String())
 	}
 }
 
