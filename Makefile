@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 BENCHTIME ?= 1x
-BENCHOUT ?= BENCH_8.json
+BENCHOUT ?= BENCH_9.json
 
 .PHONY: all build test check fmt vet lint race fuzz vuln bench cover
 
@@ -55,7 +55,7 @@ cover:
 # BENCH_*.json.
 bench:
 	$(GO) run ./scripts/benchjson -benchtime $(BENCHTIME) -keep-before \
-		-pkgs .,./internal/lint,./internal/lint/callgraph,./internal/lint/summary \
+		-pkgs .,./internal/lint,./internal/lint/callgraph,./internal/lint/summary,./internal/stream \
 		-out $(BENCHOUT)
 
 # Ten-second fuzz passes over the three untrusted-input parsers:

@@ -194,6 +194,35 @@ func (b *ProfileBuilder) Profile() *Profile {
 	return b.profile
 }
 
+// Peek returns the live profile without finalizing the stream: the
+// extractor is NOT flushed, so a stay the user is currently inside
+// stays open and is not yet a visit. Unlike Profile, Peek never
+// perturbs future extraction — feeding more points after Peek yields
+// exactly what an un-peeked builder would have yielded, which is what
+// lets a streaming service serve mid-stream risk snapshots while
+// remaining byte-equivalent to a batch run at end of stream. (The
+// pattern-1 run-length fold Peek triggers is additive and harmless;
+// only the extractor flush is destructive.)
+func (b *ProfileBuilder) Peek() *Profile {
+	b.profile.flushRegionRun()
+	return b.profile
+}
+
+// Park releases the builder's pooled extraction scratch while keeping
+// the builder fully usable: buffered window points survive, so
+// parking an idle user's builder (stream eviction) bounds its memory
+// without changing any future extraction result. See poi.Extractor.Park.
+func (b *ProfileBuilder) Park() {
+	b.extractor.Park()
+}
+
+// Footprint estimates the bytes retained by the builder's extraction
+// window buffers — the only part of builder state that grows with
+// burst size rather than with the number of distinct places/regions.
+func (b *ProfileBuilder) Footprint() int {
+	return b.extractor.Footprint()
+}
+
 // Release returns the builder's pooled extraction scratch (the PoI
 // window buffers) for reuse. Call only when no more points will be fed;
 // the already-built Profile stays fully valid. BuildProfile releases

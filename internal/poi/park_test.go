@@ -1,0 +1,92 @@
+package poi
+
+import (
+	"testing"
+	"time"
+)
+
+// parkTrace is a multi-stay trace with enough movement between stays
+// to keep the entry/exit windows busy at every parking opportunity.
+func parkTrace() *builder {
+	a := placeAt(0, 400)
+	c := placeAt(120, 900)
+	b := newBuilder(origin, 5*time.Second, 11)
+	b.stay(20*time.Minute, 8).
+		walk(a, 1.4).
+		stay(15*time.Minute, 8).
+		walk(c, 1.4).
+		stay(30*time.Minute, 8).
+		walk(origin, 1.4).
+		stay(12*time.Minute, 8)
+	return b
+}
+
+// TestParkDoesNotChangeExtraction is the invariant the streaming
+// service's eviction path depends on: an extractor that is parked at
+// arbitrary points mid-stream emits exactly the stays of an unparked
+// one.
+func TestParkDoesNotChangeExtraction(t *testing.T) {
+	pts := parkTrace().pts
+	for _, every := range []int{1, 7, 97, 1000} {
+		var plain, parked []StayPoint
+		exPlain, err := NewExtractor(DefaultParams(), func(s StayPoint) { plain = append(plain, s) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		exParked, err := NewExtractor(DefaultParams(), func(s StayPoint) { parked = append(parked, s) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range pts {
+			if err := exPlain.Feed(p); err != nil {
+				t.Fatal(err)
+			}
+			if err := exParked.Feed(p); err != nil {
+				t.Fatal(err)
+			}
+			if i%every == every-1 {
+				exParked.Park()
+			}
+		}
+		exPlain.Flush()
+		exParked.Flush()
+		if len(plain) != len(parked) {
+			t.Fatalf("park every %d fixes: %d stays vs %d unparked", every, len(parked), len(plain))
+		}
+		for i := range plain {
+			if plain[i] != parked[i] {
+				t.Fatalf("park every %d fixes: stay %d differs: %v vs %v", every, i, parked[i], plain[i])
+			}
+		}
+		exPlain.Release()
+		exParked.Release()
+	}
+}
+
+// TestParkBoundsFootprint pins that a parked extractor retains only
+// its live window points: the footprint right after Park must be the
+// exact byte size of the live points, not the grown pooled capacity.
+func TestParkBoundsFootprint(t *testing.T) {
+	ex, err := NewExtractor(DefaultParams(), func(StayPoint) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Release()
+	for _, p := range parkTrace().pts {
+		if err := ex.Feed(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ex.Park()
+	live := ex.entry.len() + ex.exit.len()
+	if got, want := ex.Footprint(), live*24; got != want {
+		t.Fatalf("parked footprint %d bytes, want exactly %d (24 bytes × %d live points)", got, want, live)
+	}
+	// Parking must not lose the pool ticket semantics: a later Release
+	// on a parked extractor is a no-op, not a double put.
+	ex.Park()
+	ex.Release()
+	if ex.entry.scratch != nil || ex.exit.scratch != nil {
+		t.Fatal("park left a pool ticket behind")
+	}
+}

@@ -382,6 +382,55 @@ func (w *window) release() {
 	w.centroid.Reset()
 }
 
+// park shrinks the window to exactly its live points, returning the
+// (possibly much larger) pooled backing arrays to the pool. The window
+// keeps working afterwards — contents, centroid and eviction state are
+// untouched, so parking can never change extraction results — it just
+// grows fresh unpooled arrays if more points arrive.
+func (w *window) park() {
+	live := len(w.ts) - w.head
+	ts := make([]int64, live)
+	lat := make([]float64, live)
+	lon := make([]float64, live)
+	copy(ts, w.ts[w.head:])
+	copy(lat, w.lat[w.head:])
+	copy(lon, w.lon[w.head:])
+	if s := w.scratch; s != nil {
+		s.ts = w.ts[:0]
+		s.lat = w.lat[:0]
+		s.lon = w.lon[:0]
+		windowPool.Put(s)
+		w.scratch = nil
+	}
+	w.ts, w.lat, w.lon = ts, lat, lon
+	w.head = 0
+}
+
+// footprint estimates the retained bytes of the window's backing
+// arrays (capacities, not lengths — dead prefixes and append slack
+// count, since that is what the process actually holds).
+func (w *window) footprint() int {
+	return cap(w.ts)*8 + cap(w.lat)*8 + cap(w.lon)*8
+}
+
+// Park releases the extractor's pooled window scratch while keeping
+// every buffered point, so a long-lived but currently idle extractor
+// (an evicted user in a streaming service) holds only the few minutes
+// of fixes its windows actually retain. Unlike Release, the extractor
+// remains fully usable: feeding more points after Park produces
+// exactly the stays an un-parked extractor would have produced.
+func (e *Extractor) Park() {
+	e.entry.park()
+	e.exit.park()
+}
+
+// Footprint estimates the bytes retained by the extractor's window
+// buffers. It is a capacity sum, not a precise heap measurement; its
+// job is to let callers pin "parked state stays small" in tests.
+func (e *Extractor) Footprint() int {
+	return e.entry.footprint() + e.exit.footprint()
+}
+
 // Release returns the extractor's internal buffers to a package pool
 // for reuse by future extractors. Call it only when the extractor will
 // never be fed again (after the final Flush); the convenience drivers

@@ -1,0 +1,63 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// BenchmarkStreamIngest measures the hot ingest path end to end:
+// producer-side submit plus shard-side feed, 64-fix batches, default
+// debounce. The shard goroutine runs concurrently, so ns/op is the
+// producer's cost under a keeping-up consumer.
+func BenchmarkStreamIngest(b *testing.B) {
+	e, err := New(Config{Anchor: testAnchor, Shards: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	ctx := context.Background()
+	const batch = 64
+	g := newGen(1, 0)
+	pts := g.next(b.N * batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Ingest(ctx, "bench", pts[i*batch:(i+1)*batch]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := e.SyncAll(ctx); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkRiskQuery measures the serving path: a round trip through
+// the owning shard for an up-to-date snapshot (no recompute — the
+// debounced scheduler's steady state for a quiet user).
+func BenchmarkRiskQuery(b *testing.B) {
+	e, err := New(Config{Anchor: testAnchor, Shards: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	ctx := context.Background()
+	const users = 16
+	for u := 0; u < users; u++ {
+		g := newGen(int64(u)+1, float64(u)*200)
+		if err := e.Ingest(ctx, fmt.Sprintf("bench-%02d", u), g.next(2000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := e.SyncAll(ctx); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Risk(ctx, fmt.Sprintf("bench-%02d", i%users)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package stream
+
+import "locwatch/internal/obs"
+
+// engineMetrics holds the streaming engine's instruments. The zero
+// value — every pointer nil — is the disabled state: all instrument
+// methods no-op on nil receivers (see internal/obs), so a Config
+// without a registry pays one branch per observation and nothing else.
+// Observe-only (DESIGN.md §8): instruments are written after decisions
+// and never read back, so enabling them cannot change an emitted bit.
+type engineMetrics struct {
+	fixes      *obs.Counter // fixes successfully fed into builders
+	batches    *obs.Counter // accepted Ingest calls
+	rejects    *obs.Counter // fixes dropped on poisoned users
+	evictions  *obs.Counter // Evict calls that parked a live user
+	recomputes *obs.Counter // risk snapshot recomputations
+
+	users      *obs.Gauge // distinct users with shard state
+	queueDepth *obs.Gauge // ops pending across all shard queues
+	parked     *obs.Gauge // users currently parked (evicted)
+
+	batchFixes       *obs.Histogram // fixes per accepted Ingest batch
+	recomputeSeconds *obs.Histogram // risk recomputation latency
+
+	tracer *obs.Tracer
+	root   *obs.Span
+}
+
+// batchBuckets spans the useful ingest-batch sizes: single fixes from
+// live producers up to the default MaxBatch a replay driver sends.
+var batchBuckets = []float64{1, 8, 64, 256, 1024, 4096}
+
+// newEngineMetrics creates the engine's instruments on r (nil r
+// disables everything: a nil registry hands out nil instruments).
+func newEngineMetrics(r *obs.Registry) engineMetrics {
+	return engineMetrics{
+		fixes:            r.Counter("locwatch_stream_fixes_total"),
+		batches:          r.Counter("locwatch_stream_batches_total"),
+		rejects:          r.Counter("locwatch_stream_rejected_fixes_total"),
+		evictions:        r.Counter("locwatch_stream_evictions_total"),
+		recomputes:       r.Counter("locwatch_stream_recomputes_total"),
+		users:            r.Gauge("locwatch_stream_users"),
+		queueDepth:       r.Gauge("locwatch_stream_shard_queue_depth"),
+		parked:           r.Gauge("locwatch_stream_parked_users"),
+		batchFixes:       r.Histogram("locwatch_stream_batch_fixes", batchBuckets),
+		recomputeSeconds: r.Histogram("locwatch_stream_recompute_seconds", obs.DefLatencyBuckets),
+		tracer:           r.Tracer(),
+	}
+}

@@ -1,0 +1,136 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"locwatch/internal/mobility"
+	"locwatch/internal/trace"
+)
+
+// UserID is the canonical mapping from a mobility.World user index to
+// the streaming service's string user id. Every producer — the replay
+// driver, locwatchd, difftest — uses it so the batch and stream sides
+// of a comparison agree on identity.
+func UserID(i int) string { return fmt.Sprintf("u%03d", i) }
+
+// ReplayConfig parameterizes a Replay run.
+type ReplayConfig struct {
+	// Interval is the GPS sampling interval fixes are generated at.
+	Interval time.Duration
+	// MinBatch and MaxBatch bound the randomized ingest batch size;
+	// each batch draws its size uniformly from [MinBatch, MaxBatch].
+	// Defaults: 1 and 64.
+	MinBatch, MaxBatch int
+	// Seed drives the batch-size and interleaving randomness. Replay is
+	// deterministic in (world, cfg): the same seed replays the same
+	// schedule — which, by the engine's batch-equivalence contract,
+	// must not matter to the final state anyway.
+	Seed int64
+	// EvictEvery, when positive, parks a randomly chosen user after
+	// every EvictEvery accepted batches, exercising the eviction path
+	// mid-stream. Zero disables eviction.
+	EvictEvery int
+	// Users restricts the replay to these world user indices; nil
+	// replays the whole population.
+	Users []int
+}
+
+// ReplayStats summarizes a finished replay.
+type ReplayStats struct {
+	Users     int
+	Fixes     int
+	Batches   int
+	Evictions int
+}
+
+// Replay streams the world's traces into the engine: per-user fixes in
+// time order (the engine's ingest contract), but chopped into
+// randomly-sized batches and interleaved across users in random order,
+// with optional mid-stream eviction. It is both locwatchd's trace
+// driver and the adversarial schedule generator of the differential
+// harness — the randomization deliberately explores schedules that
+// must all converge to the same final state.
+//
+// Replay does not finalize; callers decide when the stream ends
+// (difftest calls FinalizeAll, locwatchd keeps serving live).
+func Replay(ctx context.Context, e *Engine, w *mobility.World, cfg ReplayConfig) (ReplayStats, error) {
+	if cfg.Interval <= 0 {
+		return ReplayStats{}, errors.New("stream: replay: interval must be positive")
+	}
+	if cfg.MinBatch <= 0 {
+		cfg.MinBatch = 1
+	}
+	if cfg.MaxBatch < cfg.MinBatch {
+		cfg.MaxBatch = cfg.MinBatch + 63
+	}
+	users := cfg.Users
+	if users == nil {
+		users = make([]int, w.NumUsers())
+		for i := range users {
+			users[i] = i
+		}
+	}
+
+	// One open source per user; feeders drop out as they hit EOF.
+	type feeder struct {
+		id  string
+		src trace.Source
+	}
+	live := make([]*feeder, 0, len(users))
+	for _, u := range users {
+		src, err := w.Trace(u, cfg.Interval)
+		if err != nil {
+			return ReplayStats{}, fmt.Errorf("stream: replay user %d: %w", u, err)
+		}
+		live = append(live, &feeder{id: UserID(u), src: src})
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	stats := ReplayStats{Users: len(users)}
+	batch := make([]trace.Point, 0, cfg.MaxBatch)
+	for len(live) > 0 {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
+		i := rng.Intn(len(live))
+		f := live[i]
+		want := cfg.MinBatch + rng.Intn(cfg.MaxBatch-cfg.MinBatch+1)
+		batch = batch[:0]
+		done := false
+		for len(batch) < want {
+			p, err := f.src.Next()
+			if err == io.EOF {
+				done = true
+				break
+			}
+			if err != nil {
+				return stats, fmt.Errorf("stream: replay user %s: %w", f.id, err)
+			}
+			batch = append(batch, p)
+		}
+		if len(batch) > 0 {
+			if err := e.Ingest(ctx, f.id, batch); err != nil {
+				return stats, err
+			}
+			stats.Fixes += len(batch)
+			stats.Batches++
+			if cfg.EvictEvery > 0 && stats.Batches%cfg.EvictEvery == 0 {
+				victim := UserID(users[rng.Intn(len(users))])
+				if _, err := e.Evict(ctx, victim); err != nil {
+					return stats, err
+				}
+				stats.Evictions++
+			}
+		}
+		if done {
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+	return stats, nil
+}

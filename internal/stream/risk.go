@@ -1,0 +1,114 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+
+	"locwatch/internal/core"
+)
+
+// Risk is one user's live privacy-risk snapshot — the paper's four
+// metrics served as JSON. It never carries a coordinate: places and
+// regions are counted, not listed, which is what lets the service
+// expose risk without itself becoming the leak it measures.
+type Risk struct {
+	UserID string `json:"user"`
+	// Fixes is the number of ingested fixes the snapshot covers;
+	// StaleFixes counts fixes ingested since (0 when fresh). Set by
+	// the serving shard, not ComputeRisk.
+	Fixes      int `json:"fixes"`
+	StaleFixes int `json:"stale_fixes"`
+	// Visits counts extracted PoI visits; PoITotal is the paper's
+	// PoI_total (distinct canonical places), PoISensitive the places
+	// visited at most SensitiveMaxVisits times.
+	Visits       int `json:"visits"`
+	PoITotal     int `json:"poi_total"`
+	PoISensitive int `json:"poi_sensitive"`
+	// HisBin is 1 when the collected stream fits the user's reference
+	// profile (a breach), 0 otherwise or without references.
+	HisBin int `json:"his_bin"`
+	// Matches and DegAnonymity come from matching the stream against
+	// the whole candidate set: how many candidate profiles fit, and
+	// the entropy-normalized degree of anonymity (1 = the adversary
+	// learned nothing, 0 = uniquely identified).
+	Matches      int     `json:"matches"`
+	DegAnonymity float64 `json:"deg_anonymity"`
+	// Finalized marks snapshots taken after the stream was flushed
+	// (open stays closed) — the state batch runs are compared against.
+	Finalized bool `json:"finalized"`
+}
+
+// References is the scoring side of risk: per-user reference profiles
+// for the His_bin self-test and the candidate set the identification
+// adversary matches against. Profiles must be finalized (built by
+// core.BuildProfile or ProfileBuilder.Profile) and share the engine's
+// anchor; finalized profiles are read-only here, so one References is
+// safe for concurrent use by all shards.
+type References struct {
+	pattern core.Pattern
+	byUser  map[string]*core.Profile
+	adv     *core.Adversary
+}
+
+// NewReferences builds the scoring set. byUser maps user id to that
+// user's own reference profile (His_bin); candidates is the
+// identification adversary's profile set (Deg_anonymity). Either side
+// may be empty: an empty byUser serves His_bin 0, an empty candidate
+// set serves maximal anonymity.
+func NewReferences(pattern core.Pattern, byUser map[string]*core.Profile, candidates []*core.Profile) (*References, error) {
+	r := &References{pattern: pattern, byUser: byUser}
+	if len(candidates) > 0 {
+		adv, err := core.NewAdversary(candidates)
+		if err != nil {
+			return nil, fmt.Errorf("stream: references: %w", err)
+		}
+		r.adv = adv
+	}
+	return r, nil
+}
+
+// Pattern returns the histogram pattern the references score under.
+func (r *References) Pattern() core.Pattern {
+	if r == nil {
+		return core.PatternRegion
+	}
+	return r.pattern
+}
+
+// ComputeRisk scores one profile. It is the single scoring path both
+// the streaming shards and the batch side of the differential harness
+// call, so stream-vs-batch comparisons exercise identical code on
+// both sides. refs may be nil (exposure metrics only).
+func ComputeRisk(userID string, prof *core.Profile, refs *References, sensitiveMaxVisits int, pattern core.Pattern) (Risk, error) {
+	risk := Risk{
+		UserID:       userID,
+		Visits:       prof.NumVisits(),
+		PoITotal:     prof.NumPlaces(),
+		PoISensitive: len(prof.SensitivePlaces(sensitiveMaxVisits)),
+		DegAnonymity: 1, // no adversary: nothing learned
+	}
+	if refs == nil {
+		return risk, nil
+	}
+	if ref := refs.byUser[userID]; ref != nil {
+		hb, err := ref.HisBin(prof, pattern)
+		if err != nil {
+			return Risk{}, fmt.Errorf("stream: his_bin for user %q: %w", userID, err)
+		}
+		risk.HisBin = hb
+	}
+	if refs.adv != nil {
+		id, err := refs.adv.Identify(prof, pattern)
+		if err != nil {
+			// A degenerate observation is "no information", not a
+			// service failure.
+			if errors.Is(err, core.ErrNoProfile) {
+				return risk, nil
+			}
+			return Risk{}, fmt.Errorf("stream: identify user %q: %w", userID, err)
+		}
+		risk.Matches = id.Matches
+		risk.DegAnonymity = id.DegAnonymity
+	}
+	return risk, nil
+}
