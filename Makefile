@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 BENCHTIME ?= 1x
-BENCHOUT ?= BENCH_9.json
+BENCHOUT ?= BENCH_10.json
 
 .PHONY: all build test check fmt vet lint race fuzz vuln bench cover
 
@@ -30,11 +30,14 @@ vet:
 
 # The domain analyzers: the syntactic tier (latlonbounds, angleunits,
 # lockedmap, durationseconds, detclock), the flow-sensitive tier
-# (nilfacade, exhaustenum, errflow) and the interprocedural tier
-# (detreach, spawnleak, plus nilfacade's cross-function nilness).
-# Exit status 1 means findings.
+# (nilfacade, exhaustenum, errflow), the interprocedural tier
+# (detreach, privtaint, spawnleak, plus nilfacade's cross-function
+# nilness), the concurrency tier (locksafe, chanowner, ctxflow) and the
+# deadlock tier (lockorder, blockhold). Findings are cached per package
+# under .lintcache, keyed by content fingerprints, so warm runs reload
+# only what changed. Exit status 1 means findings.
 lint:
-	$(GO) run ./cmd/locwatchlint ./...
+	$(GO) run ./cmd/locwatchlint -cache-dir .lintcache ./...
 
 race:
 	$(GO) test -race ./...

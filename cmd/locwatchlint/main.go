@@ -18,9 +18,17 @@
 //	-json         shorthand for -format json (kept for compatibility)
 //	-disable a,b  skip the named analyzers
 //	-baseline f   read an accepted-findings baseline: matched findings
-//	              are demoted to suppressed
+//	              are demoted to suppressed; entries nothing matched
+//	              are reported as stale so the ledger cannot rot
+//	-prune-baseline  with -baseline, rewrite the file without its
+//	              stale entries after the run
 //	-write-baseline f  instead of failing, record the current active
 //	              findings as the new baseline and exit 0
+//	-cache-dir d  cache per-package findings under d, keyed by content
+//	              fingerprints: warm runs reload only what changed, and
+//	              a fully warm run skips loading entirely
+//	-no-cache     ignore -cache-dir and recompute everything
+//	-cache-stats f  write the run's cache hit/miss counters as JSON to f
 //	-list         print the analyzer suite and exit
 //	-graph s      instead of linting, dump the call-graph slice reachable
 //	              from functions whose qualified name contains s — the
@@ -50,7 +58,11 @@ func main() {
 	jsonOut := flag.Bool("json", false, "shorthand for -format json")
 	disable := flag.String("disable", "", "comma-separated analyzer names to skip")
 	baselinePath := flag.String("baseline", "", "accepted-findings baseline file to read")
+	pruneBaseline := flag.Bool("prune-baseline", false, "with -baseline, rewrite the file without stale entries")
 	writeBaseline := flag.String("write-baseline", "", "record current findings to this baseline file and exit 0")
+	cacheDir := flag.String("cache-dir", "", "cache per-package findings under this directory")
+	noCache := flag.Bool("no-cache", false, "ignore -cache-dir and recompute everything")
+	cacheStats := flag.String("cache-stats", "", "write cache hit/miss counters as JSON to this file")
 	list := flag.Bool("list", false, "print the analyzer suite and exit")
 	graphRoot := flag.String("graph", "", "dump the call graph reachable from functions whose qualified name contains this substring, then exit")
 	graphFormat := flag.String("graph-format", "dot", "call-graph dump format: dot or json")
@@ -82,28 +94,22 @@ func main() {
 		log.Print(err)
 		os.Exit(2)
 	}
-	resolve, roots, err := loader.GoList(root, flag.Args()...)
-	if err != nil {
-		log.Print(err)
-		os.Exit(2)
-	}
-	ld := loader.New(resolve)
-	var pkgs []*loader.Package
-	for _, path := range roots {
-		pkg, err := ld.Load(path)
+
+	if *graphRoot != "" {
+		// The debugging path loads eagerly — a graph dump wants the
+		// whole program regardless of what the cache knows.
+		metas, resolve, roots, err := loader.GoListDeps(root, flag.Args()...)
 		if err != nil {
 			log.Print(err)
 			os.Exit(2)
 		}
-		pkgs = append(pkgs, pkg)
-	}
-
-	// The whole-program view: dependency packages the loader memoized
-	// while type-checking the targets join the call graph, so detreach
-	// and spawnleak see through package boundaries.
-	prog := lint.BuildProgram(pkgs, ld.Package)
-
-	if *graphRoot != "" {
+		ld := loader.New(resolve)
+		pkgs, err := ld.LoadAll(metas, roots, 0)
+		if err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
+		prog := lint.BuildProgram(pkgs, ld.Package)
 		if err := dumpGraph(os.Stdout, prog, *graphRoot, *graphFormat); err != nil {
 			log.Print(err)
 			os.Exit(2)
@@ -111,10 +117,29 @@ func main() {
 		return
 	}
 
-	findings, err := prog.Run(analyzers)
+	dir := *cacheDir
+	if *noCache {
+		dir = ""
+	}
+	findings, stats, err := lint.Check(lint.CheckOptions{
+		Dir:       root,
+		Patterns:  flag.Args(),
+		Analyzers: analyzers,
+		CacheDir:  dir,
+	})
 	if err != nil {
 		log.Print(err)
 		os.Exit(2)
+	}
+	if *cacheStats != "" {
+		data, err := json.MarshalIndent(stats, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*cacheStats, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
 	}
 
 	if *baselinePath != "" {
@@ -130,6 +155,27 @@ func main() {
 			os.Exit(2)
 		}
 		base.Apply(root, findings)
+		stale := base.Stale()
+		for _, e := range stale {
+			log.Printf("stale baseline entry: %s (%s: %s)", e.Fingerprint, e.Analyzer, e.Message)
+		}
+		if *pruneBaseline && len(stale) > 0 {
+			out, err := os.Create(*baselinePath)
+			if err != nil {
+				log.Print(err)
+				os.Exit(2)
+			}
+			werr := base.WritePruned(out)
+			if cerr := out.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				log.Print(werr)
+				os.Exit(2)
+			}
+			log.Printf("pruned %d stale entr%s from %s", len(stale),
+				map[bool]string{true: "y", false: "ies"}[len(stale) == 1], *baselinePath)
+		}
 	}
 	if *writeBaseline != "" {
 		out, err := os.Create(*writeBaseline)

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"locwatch/internal/lint"
@@ -89,6 +91,47 @@ func TestWriteSARIF(t *testing.T) {
 	// A file outside the root keeps its absolute path.
 	if uri := run.Results[1].Locations[0].PhysicalLocation.ArtifactLocation.URI; uri != "/elsewhere/other.go" {
 		t.Errorf("out-of-root uri = %q, want /elsewhere/other.go", uri)
+	}
+}
+
+// TestSARIFColdVsWarm is the end-to-end incremental contract at the
+// output layer: the SARIF log rendered from a cold cached run and from
+// the warm all-hits run that follows must be byte-identical.
+func TestSARIFColdVsWarm(t *testing.T) {
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.24\n",
+		"a/a.go": "package a\n\nimport \"sync\"\n\ntype Q struct {\n\tmu sync.Mutex\n\tch chan int\n}\n\nfunc (q *Q) Send(v int) {\n\tq.mu.Lock()\n\tdefer q.mu.Unlock()\n\tq.ch <- v\n}\n",
+	}
+	for name, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opts := lint.CheckOptions{Dir: root, CacheDir: filepath.Join(root, ".lintcache")}
+	render := func() []byte {
+		t.Helper()
+		findings, _, err := lint.Check(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := writeSARIF(&buf, root, lint.All(), findings); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	cold := render()
+	if !bytes.Contains(cold, []byte("blockhold")) {
+		t.Fatalf("cold SARIF is missing the seeded finding:\n%s", cold)
+	}
+	warm := render()
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("cold and warm SARIF diverge:\n--- cold ---\n%s\n--- warm ---\n%s", cold, warm)
 	}
 }
 

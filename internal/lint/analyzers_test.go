@@ -116,3 +116,22 @@ func TestChanOwner(t *testing.T) {
 func TestCtxFlow(t *testing.T) {
 	analysistest.Run(t, fixtures, lint.CtxFlow, "ctxflow")
 }
+
+// TestLockOrder covers the deadlock tier's order graph: in-package and
+// cross-package acquisition cycles (both sides reported in their own
+// package), cycles through call chains, self-deadlocks by direct and
+// call-crossing re-acquisition (including the RWMutex read→write
+// upgrade); sequential handoff, consistent orders, nested read locks
+// and the suppressed side stay silent.
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, fixtures, lint.LockOrder, "lockorder", "lockorder/other", "lockorder/core")
+}
+
+// TestBlockHold covers blocking-under-lock: channel sends, sleeps and
+// WaitGroup waits with a mutex held (goroutine-side and read-locked
+// included), and may-blocking call chains entered under a lock;
+// unlock-before-block, select-with-default and the justified
+// suppression stay silent.
+func TestBlockHold(t *testing.T) {
+	analysistest.Run(t, fixtures, lint.BlockHold, "blockhold")
+}

@@ -37,9 +37,15 @@ type baselineFile struct {
 	Findings []BaselineEntry `json:"findings"`
 }
 
-// Baseline is a loaded accepted-findings set.
+// Baseline is a loaded accepted-findings set. Apply records which
+// entries actually matched, so after a run the ledger can be audited:
+// Stale lists the entries whose findings no longer exist (fixed code,
+// or a finding that moved and needs re-review) and WritePruned
+// rewrites the file without them.
 type Baseline struct {
+	entries  []BaselineEntry
 	accepted map[string]bool
+	matched  map[string]bool
 }
 
 // Fingerprint computes a finding's stable identity: rule, position
@@ -91,7 +97,11 @@ func ReadBaseline(r io.Reader) (*Baseline, error) {
 	if bf.Version != baselineVersion {
 		return nil, fmt.Errorf("lint: baseline version %d, want %d", bf.Version, baselineVersion)
 	}
-	b := &Baseline{accepted: make(map[string]bool, len(bf.Findings))}
+	b := &Baseline{
+		entries:  bf.Findings,
+		accepted: make(map[string]bool, len(bf.Findings)),
+		matched:  make(map[string]bool),
+	}
 	for _, e := range bf.Findings {
 		b.accepted[e.Fingerprint] = true
 	}
@@ -107,9 +117,41 @@ func (b *Baseline) Apply(root string, findings []Finding) {
 		if !f.Active() {
 			continue
 		}
-		if b.accepted[Fingerprint(root, *f)] {
+		if fp := Fingerprint(root, *f); b.accepted[fp] {
 			f.Suppressed = SuppressedBaseline
 			f.Justification = "accepted in baseline"
+			b.matched[fp] = true
 		}
 	}
+}
+
+// Stale returns the entries no finding matched across every Apply so
+// far, in ledger order. A stale entry means the accepted finding was
+// fixed — or drifted to a new position, which re-reports it anyway —
+// so keeping the entry only masks a future regression at the old spot.
+func (b *Baseline) Stale() []BaselineEntry {
+	var out []BaselineEntry
+	for _, e := range b.entries {
+		if !b.matched[e.Fingerprint] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WritePruned rewrites the baseline keeping only the entries that
+// matched a finding, sorted like WriteBaseline for stable diffs.
+func (b *Baseline) WritePruned(w io.Writer) error {
+	bf := baselineFile{Version: baselineVersion, Findings: []BaselineEntry{}}
+	for _, e := range b.entries {
+		if b.matched[e.Fingerprint] {
+			bf.Findings = append(bf.Findings, e)
+		}
+	}
+	sort.Slice(bf.Findings, func(i, j int) bool {
+		return bf.Findings[i].Fingerprint < bf.Findings[j].Fingerprint
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(bf)
 }

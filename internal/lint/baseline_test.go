@@ -76,6 +76,52 @@ func TestBaselineFingerprintSensitivity(t *testing.T) {
 	}
 }
 
+// TestBaselineStaleAndPrune pins the ledger hygiene loop: entries no
+// finding matches are reported stale, WritePruned drops exactly those,
+// and the pruned file round-trips with nothing stale left.
+func TestBaselineStaleAndPrune(t *testing.T) {
+	still := Finding{Analyzer: "locksafe", File: "/mod/a.go", Line: 10, Column: 2,
+		Message: "field A.x is written without A.mu held"}
+	fixed := Finding{Analyzer: "detclock", File: "/mod/b.go", Line: 5, Column: 1,
+		Message: "time.Now in simulation path"}
+
+	var buf bytes.Buffer
+	if err := WriteBaseline(&buf, "/mod", []Finding{still, fixed}); err != nil {
+		t.Fatal(err)
+	}
+	base, err := ReadBaseline(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before any Apply everything is stale; the fixed finding never
+	// comes back, so after Apply its entry remains so.
+	if got := len(base.Stale()); got != 2 {
+		t.Fatalf("pre-Apply stale count = %d, want 2", got)
+	}
+	rerun := []Finding{still}
+	base.Apply("/mod", rerun)
+	stale := base.Stale()
+	if len(stale) != 1 || stale[0].Analyzer != "detclock" {
+		t.Fatalf("stale = %+v, want the fixed detclock entry", stale)
+	}
+
+	var pruned bytes.Buffer
+	if err := base.WritePruned(&pruned); err != nil {
+		t.Fatal(err)
+	}
+	if s := pruned.String(); strings.Contains(s, "detclock") || !strings.Contains(s, "locksafe") {
+		t.Fatalf("pruned baseline off:\n%s", s)
+	}
+	reread, err := ReadBaseline(bytes.NewReader(pruned.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reread.Apply("/mod", []Finding{still})
+	if len(reread.Stale()) != 0 {
+		t.Fatalf("pruned baseline still has stale entries: %+v", reread.Stale())
+	}
+}
+
 func TestBaselineVersionCheck(t *testing.T) {
 	if _, err := ReadBaseline(strings.NewReader(`{"version": 99, "findings": []}`)); err == nil {
 		t.Error("future version accepted silently")

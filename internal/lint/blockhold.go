@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"fmt"
+	"go/types"
+	"sort"
+
+	"locwatch/internal/lint/analysis"
+	"locwatch/internal/lint/callgraph"
+)
+
+// BlockHold flags indefinite blocking with a mutex held: an unguarded
+// channel send/receive, range-over-channel, select with no escape,
+// WaitGroup/Cond wait or time.Sleep reached while the function
+// must-holds a lock — or a call into a may-blocking callee chain made
+// with a lock held. A blocked holder wedges every other goroutine that
+// needs the lock; when the blocked op is a bounded-queue send whose
+// consumer needs the same lock to drain (the stream.Engine shape), the
+// wedge is a deadlock.
+//
+// The facts come from the concurrency summaries: blocking sites carry
+// the must-held lockset their CFG replay converged on (goroutine-
+// literal bodies track their own locks), and may-block propagates
+// bottom-up through callee summaries with a witness chain. Calls
+// running on a different goroutine than the recorded lockset (`go
+// f()`) are excluded. Read-held locks count — an RLock holder blocks
+// every writer, and writers queued behind it block later readers.
+var BlockHold = &analysis.Analyzer{
+	Name: "blockhold",
+	Doc: "flags blocking operations (channel ops, selects, Wait, Sleep) and may-blocking call chains " +
+		"executed while a mutex is held",
+	Run: runBlockHold,
+}
+
+func runBlockHold(pass *analysis.Pass) error {
+	prog := program(pass)
+	if prog == nil {
+		return nil
+	}
+	prog.concState()
+
+	for _, n := range prog.Graph.Nodes() {
+		if n.Pkg.Types != pass.Pkg {
+			continue
+		}
+		f := prog.Sums.OfNode(n)
+		if f == nil {
+			continue
+		}
+		for _, b := range f.Conc.Blocking {
+			if len(b.Held) == 0 {
+				continue
+			}
+			pass.Reportf(b.Pos, "%s while holding %s; a blocked holder wedges every goroutine that needs the lock",
+				b.What, prog.heldLabel(b.Held, b.ReadHeld))
+		}
+		edges := make(map[int64][]*callgraph.Node)
+		for _, e := range n.Out {
+			edges[int64(e.Pos)] = append(edges[int64(e.Pos)], e.Callee)
+		}
+		for _, call := range f.Conc.Calls {
+			if len(call.Held) == 0 || call.InGo {
+				continue
+			}
+			for _, callee := range edges[int64(call.Pos)] {
+				cf := prog.Sums.OfNode(callee)
+				if cf == nil || !cf.Conc.MayBlock {
+					continue
+				}
+				d := analysis.Diagnostic{Pos: call.Pos, Message: fmt.Sprintf(
+					"call to %s may block while holding %s; a blocked holder wedges every goroutine that needs the lock",
+					callee.Func.Name(), prog.heldLabel(call.Held, call.ReadHeld))}
+				for _, hop := range cf.Conc.BlockVia {
+					d.Related = append(d.Related, analysis.RelatedPos{Pos: hop.Pos, Message: "blocks here: " + hop.Name})
+				}
+				pass.Report(d)
+				break // one report per callsite, not per resolved callee
+			}
+		}
+	}
+	return nil
+}
+
+// heldLabel renders a held lockset for diagnostics, sorted for
+// determinism, marking fully read-held sets (those still block every
+// writer, and writers queued behind them block later readers).
+func (p *Program) heldLabel(held, readHeld []*types.Var) string {
+	names := make([]string, len(held))
+	allRead := true
+	for i, v := range held {
+		names[i] = p.lockLabel(v)
+		if !containsLockVar(readHeld, v) {
+			allRead = false
+		}
+	}
+	sort.Strings(names)
+	out := ""
+	for i, name := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += name
+	}
+	if allRead && len(held) > 0 {
+		out += " (read-locked)"
+	}
+	return out
+}
+
+func containsLockVar(vs []*types.Var, v *types.Var) bool {
+	for _, w := range vs {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,155 @@
+package cache
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"locwatch/internal/lint/loader"
+)
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testMetas(t *testing.T) (string, map[string]loader.PackageMeta) {
+	t.Helper()
+	root := t.TempDir()
+	writeFile(t, filepath.Join(root, "a", "a.go"), "package a\n\nimport \"m/b\"\n\nfunc A() int { return b.B() }\n")
+	writeFile(t, filepath.Join(root, "b", "b.go"), "package b\n\nfunc B() int { return 1 }\n")
+	writeFile(t, filepath.Join(root, "c", "c.go"), "package c\n\nfunc C() int { return 2 }\n")
+	return root, map[string]loader.PackageMeta{
+		"m/a": {ImportPath: "m/a", Dir: filepath.Join(root, "a"), GoFiles: []string{"a.go"}, Imports: []string{"m/b"}},
+		"m/b": {ImportPath: "m/b", Dir: filepath.Join(root, "b"), GoFiles: []string{"b.go"}},
+		"m/c": {ImportPath: "m/c", Dir: filepath.Join(root, "c"), GoFiles: []string{"c.go"}},
+	}
+}
+
+// TestFingerprintsStable pins that fingerprints are a pure function of
+// content: recomputing over untouched sources reproduces them, and a
+// rewrite with identical bytes (a "touch") changes nothing.
+func TestFingerprintsStable(t *testing.T) {
+	root, metas := testMetas(t)
+	first, err := Fingerprints(metas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 3 {
+		t.Fatalf("got %d fingerprints, want 3", len(first))
+	}
+	// Touch: rewrite b.go with the same content.
+	writeFile(t, filepath.Join(root, "b", "b.go"), "package b\n\nfunc B() int { return 1 }\n")
+	second, err := Fingerprints(metas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, fp := range first {
+		if second[p] != fp {
+			t.Fatalf("fingerprint of %s changed after a no-op touch", p)
+		}
+	}
+	if Global(first) != Global(second) {
+		t.Fatal("global fingerprint changed after a no-op touch")
+	}
+}
+
+// TestFingerprintsSourceEdit pins the invalidation cone of a source
+// edit: the edited package and its dependents change, bystanders keep
+// their fingerprints, and the global fingerprint always moves.
+func TestFingerprintsSourceEdit(t *testing.T) {
+	root, metas := testMetas(t)
+	before, err := Fingerprints(metas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, filepath.Join(root, "b", "b.go"), "package b\n\nfunc B() int { return 3 }\n")
+	after, err := Fingerprints(metas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after["m/b"] == before["m/b"] {
+		t.Fatal("edited package kept its fingerprint")
+	}
+	if after["m/a"] == before["m/a"] {
+		t.Fatal("dependent package kept its fingerprint after a dep edit")
+	}
+	if after["m/c"] != before["m/c"] {
+		t.Fatal("unrelated package lost its fingerprint")
+	}
+	if Global(after) == Global(before) {
+		t.Fatal("global fingerprint survived an edit")
+	}
+}
+
+// TestFingerprintsErrors covers the failure modes: metadata naming a
+// missing file, an import with no metadata entry, and a cycle.
+func TestFingerprintsErrors(t *testing.T) {
+	_, metas := testMetas(t)
+	broken := map[string]loader.PackageMeta{
+		"m/a": {ImportPath: "m/a", Dir: "/no/such/dir", GoFiles: []string{"a.go"}},
+	}
+	if _, err := Fingerprints(broken); err == nil {
+		t.Fatal("missing source file went unnoticed")
+	}
+	m := metas["m/a"]
+	m.Imports = []string{"m/ghost"}
+	metas["m/a"] = m
+	if _, err := Fingerprints(metas); err == nil {
+		t.Fatal("import without metadata went unnoticed")
+	}
+	cyc := map[string]loader.PackageMeta{
+		"x": {ImportPath: "x", Imports: []string{"y"}},
+		"y": {ImportPath: "y", Imports: []string{"x"}},
+	}
+	if _, err := Fingerprints(cyc); err == nil {
+		t.Fatal("fingerprint cycle went unnoticed")
+	}
+}
+
+// TestKeyDistinct pins the length-prefixing: shifting bytes between
+// adjacent parts must produce a different key.
+func TestKeyDistinct(t *testing.T) {
+	if Key("ab", "c") == Key("a", "bc") {
+		t.Fatal(`Key("ab","c") == Key("a","bc")`)
+	}
+	if Key("x") == Key("x", "") {
+		t.Fatal(`Key("x") == Key("x","")`)
+	}
+}
+
+// TestDirRoundTrip covers the blob store: miss before Put, hit after,
+// overwrite wins, and junk keys are rejected or miss cleanly.
+func TestDirRoundTrip(t *testing.T) {
+	d, err := Open(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("entry")
+	if _, ok := d.Get(key); ok {
+		t.Fatal("hit before Put")
+	}
+	if err := d.Put(key, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := d.Get(key); !ok || string(got) != "one" {
+		t.Fatalf("Get = %q, %v; want \"one\", true", got, ok)
+	}
+	if err := d.Put(key, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := d.Get(key); string(got) != "two" {
+		t.Fatalf("overwrite lost: got %q", got)
+	}
+	if err := d.Put("xy", nil); err == nil {
+		t.Fatal("short key accepted")
+	}
+	if _, ok := d.Get(""); ok {
+		t.Fatal("empty key hit")
+	}
+}

@@ -1,0 +1,291 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"locwatch/internal/lint/analysis"
+	"locwatch/internal/lint/cache"
+	"locwatch/internal/lint/loader"
+)
+
+// CheckOptions configures one incremental lint run.
+type CheckOptions struct {
+	// Dir is the module root (or any directory inside it) the patterns
+	// resolve against. Empty means ".".
+	Dir string
+	// Patterns are go-list package patterns; empty means ./...
+	Patterns []string
+	// Analyzers is the suite to run; nil means All().
+	Analyzers []*analysis.Analyzer
+	// CacheDir enables the findings cache when non-empty. Entries are
+	// keyed by content fingerprints, so the directory can be shared
+	// across branches and restored from CI caches without any
+	// invalidation protocol.
+	CacheDir string
+	// Workers bounds parallel package loading; <=0 means GOMAXPROCS.
+	Workers int
+}
+
+// CacheStats reports what one Check run got out of the cache. The
+// modular analyzers (syntactic and CFG tiers) are keyed per package,
+// the global ones (callgraph and summary tiers) additionally on the
+// whole-program fingerprint, so an edit to one package re-runs the
+// modular tier for that package only but the global tier everywhere.
+type CacheStats struct {
+	ModularHits   int `json:"modularHits"`
+	ModularMisses int `json:"modularMisses"`
+	GlobalHits    int `json:"globalHits"`
+	GlobalMisses  int `json:"globalMisses"`
+	// LoadSkipped is true when every probe hit and the run answered
+	// from the cache alone — no parsing, no type-checking, no analysis.
+	LoadSkipped bool `json:"loadSkipped"`
+}
+
+// Check runs the suite over the packages matching the options,
+// consulting the findings cache when one is configured. Finding paths
+// are module-relative (slash-separated), which keeps cached entries
+// valid across checkout locations and makes cold and warm output
+// byte-identical.
+func Check(opts CheckOptions) ([]Finding, CacheStats, error) {
+	var stats CacheStats
+	dir := opts.Dir
+	if dir == "" {
+		dir = "."
+	}
+	root, err := loader.ModuleRoot(dir)
+	if err != nil {
+		return nil, stats, err
+	}
+	analyzers := opts.Analyzers
+	if analyzers == nil {
+		analyzers = All()
+	}
+	var modular, global []*analysis.Analyzer
+	for _, a := range analyzers {
+		if Modular(a) {
+			modular = append(modular, a)
+		} else {
+			global = append(global, a)
+		}
+	}
+
+	metas, resolve, roots, err := loader.GoListDeps(root, opts.Patterns...)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	if opts.CacheDir == "" {
+		findings, err := loadAndRun(resolve, metas, roots, opts.Workers, analyzers)
+		if err != nil {
+			return nil, stats, err
+		}
+		relativize(root, findings)
+		return finalizeFindings(findings), stats, nil
+	}
+
+	store, err := cache.Open(opts.CacheDir)
+	if err != nil {
+		return nil, stats, err
+	}
+	fps, err := cache.Fingerprints(metas)
+	if err != nil {
+		return nil, stats, err
+	}
+	globalFP := cache.Global(fps)
+	modRoster := rosterOf(modular)
+	globRoster := rosterOf(global)
+
+	// Probe both tiers for every target package. A tier with no
+	// analyzers is vacuously cached: it contributes no findings.
+	type probe struct {
+		key     string
+		hit     bool
+		cached  []Finding
+		enabled bool
+	}
+	modProbes := make([]probe, len(roots))
+	globProbes := make([]probe, len(roots))
+	allHit := true
+	for i, r := range roots {
+		if len(modular) > 0 {
+			p := &modProbes[i]
+			p.enabled = true
+			p.key = cache.Key("modular", fps[r], modRoster)
+			p.cached, p.hit = getFindings(store, p.key)
+			if p.hit {
+				stats.ModularHits++
+			} else {
+				stats.ModularMisses++
+				allHit = false
+			}
+		}
+		if len(global) > 0 {
+			p := &globProbes[i]
+			p.enabled = true
+			p.key = cache.Key("global", fps[r], globalFP, globRoster)
+			p.cached, p.hit = getFindings(store, p.key)
+			if p.hit {
+				stats.GlobalHits++
+			} else {
+				stats.GlobalMisses++
+				allHit = false
+			}
+		}
+	}
+
+	if allHit {
+		stats.LoadSkipped = true
+		var all []Finding
+		for i := range roots {
+			all = append(all, modProbes[i].cached...)
+			all = append(all, globProbes[i].cached...)
+		}
+		return finalizeFindings(all), stats, nil
+	}
+
+	ld := loader.New(resolve)
+	pkgs, err := ld.LoadAll(metas, roots, opts.Workers)
+	if err != nil {
+		return nil, stats, err
+	}
+	prog := BuildProgram(pkgs, ld.Package)
+
+	var all []Finding
+	fill := func(pkg *loader.Package, p *probe, tier []*analysis.Analyzer) error {
+		if !p.enabled {
+			return nil
+		}
+		if p.hit {
+			all = append(all, p.cached...)
+			return nil
+		}
+		fresh, err := runTier(prog, pkg, tier)
+		if err != nil {
+			return err
+		}
+		relativize(root, fresh)
+		finalizePackage(fresh)
+		if err := putFindings(store, p.key, fresh); err != nil {
+			return err
+		}
+		all = append(all, fresh...)
+		return nil
+	}
+	for i, pkg := range pkgs {
+		if err := fill(pkg, &modProbes[i], modular); err != nil {
+			return nil, stats, err
+		}
+		if err := fill(pkg, &globProbes[i], global); err != nil {
+			return nil, stats, err
+		}
+	}
+	return finalizeFindings(all), stats, nil
+}
+
+// loadAndRun is the uncached path: parallel load, whole-program build,
+// full suite.
+func loadAndRun(resolve loader.Resolver, metas map[string]loader.PackageMeta, roots []string, workers int, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	ld := loader.New(resolve)
+	pkgs, err := ld.LoadAll(metas, roots, workers)
+	if err != nil {
+		return nil, err
+	}
+	prog := BuildProgram(pkgs, ld.Package)
+	var all []Finding
+	for _, pkg := range pkgs {
+		fresh, err := runTier(prog, pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, fresh...)
+	}
+	return all, nil
+}
+
+func runTier(prog *Program, pkg *loader.Package, tier []*analysis.Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, a := range tier {
+		fs, err := prog.RunPackage(pkg, a)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fs...)
+	}
+	return out, nil
+}
+
+// finalizePackage canonicalizes one package's findings before they are
+// cached: same sort and dedupe as the final merge, so replaying cached
+// entries reproduces the cold run byte for byte.
+func finalizePackage(fs []Finding) {
+	sortFindings(fs)
+}
+
+// rosterOf identifies an analyzer set for cache keying: names sorted
+// and joined, so enabling, disabling or renaming any analyzer changes
+// every key it participates in.
+func rosterOf(tier []*analysis.Analyzer) string {
+	names := make([]string, len(tier))
+	for i, a := range tier {
+		names[i] = a.Name
+	}
+	sort.Strings(names)
+	return strings.Join(names, ",")
+}
+
+// relativize rewrites finding paths to be module-relative and
+// slash-separated. Paths outside the module (stdlib positions never
+// reach findings, but belt and braces) stay absolute.
+func relativize(root string, fs []Finding) {
+	for i := range fs {
+		fs[i].File = relPath(root, fs[i].File)
+		for j := range fs[i].Related {
+			fs[i].Related[j].File = relPath(root, fs[i].Related[j].File)
+		}
+	}
+}
+
+func relPath(root, file string) string {
+	if root == "" || file == "" {
+		return file
+	}
+	rel, err := filepath.Rel(root, file)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return file
+	}
+	return filepath.ToSlash(rel)
+}
+
+// cacheEntry is the serialized form of one tier's findings for one
+// package.
+type cacheEntry struct {
+	Findings []Finding `json:"findings"`
+}
+
+func getFindings(store *cache.Dir, key string) ([]Finding, bool) {
+	data, ok := store.Get(key)
+	if !ok {
+		return nil, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		// A corrupt entry is a miss; the slot is overwritten below.
+		return nil, false
+	}
+	return e.Findings, true
+}
+
+func putFindings(store *cache.Dir, key string, fs []Finding) error {
+	if fs == nil {
+		fs = []Finding{}
+	}
+	data, err := json.Marshal(cacheEntry{Findings: fs})
+	if err != nil {
+		return fmt.Errorf("lint: encode cache entry: %w", err)
+	}
+	return store.Put(key, data)
+}

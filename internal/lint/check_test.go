@@ -1,0 +1,193 @@
+package lint_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"locwatch/internal/lint"
+)
+
+// fixtureModule materializes a tiny self-contained module exercising
+// both cache tiers: package a has a blockhold finding (global tier)
+// and imports package b, which is clean.
+func fixtureModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.24\n",
+		"a/a.go": `package a
+
+import (
+	"sync"
+
+	"tmpmod/b"
+)
+
+type Q struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (q *Q) Send(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.ch <- b.Inc(v)
+}
+`,
+		"b/b.go": `package b
+
+func Inc(n int) int { return n + 1 }
+`,
+	}
+	for name, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func marshalFindings(t *testing.T, fs []lint.Finding) []byte {
+	t.Helper()
+	data, err := json.Marshal(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestCheckColdWarmIdentical is the incremental driver's core
+// contract: a warm run after a no-op touch answers entirely from the
+// cache — no load, no type-check — and its findings are byte-for-byte
+// the cold run's; after a real edit the cache repopulates and a second
+// run reproduces the post-edit findings byte-for-byte too.
+func TestCheckColdWarmIdentical(t *testing.T) {
+	root := fixtureModule(t)
+	opts := lint.CheckOptions{Dir: root, CacheDir: filepath.Join(root, ".lintcache")}
+
+	cold, coldStats, err := lint.Check(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldStats.LoadSkipped {
+		t.Fatal("cold run claims it skipped loading")
+	}
+	if coldStats.ModularMisses == 0 || coldStats.GlobalMisses == 0 {
+		t.Fatalf("cold run stats %+v, want misses in both tiers", coldStats)
+	}
+	var found bool
+	for _, f := range cold {
+		if f.Analyzer == "blockhold" && f.File == "a/a.go" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("cold findings %v missing the blockhold seed", cold)
+	}
+
+	// No-op touch: rewrite a.go with identical bytes.
+	aPath := filepath.Join(root, "a", "a.go")
+	content, err := os.ReadFile(aPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(aPath, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	warm, warmStats, err := lint.Check(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warmStats.LoadSkipped {
+		t.Fatalf("warm run stats %+v, want LoadSkipped", warmStats)
+	}
+	if warmStats.ModularMisses != 0 || warmStats.GlobalMisses != 0 {
+		t.Fatalf("warm run stats %+v, want zero misses", warmStats)
+	}
+	if !bytes.Equal(marshalFindings(t, cold), marshalFindings(t, warm)) {
+		t.Fatalf("warm findings diverge from cold:\n cold %s\n warm %s",
+			marshalFindings(t, cold), marshalFindings(t, warm))
+	}
+
+	// Real edit to a: b is untouched, so its modular entry survives,
+	// but the whole-program fingerprint moves and the global tier
+	// re-runs everywhere.
+	edited := append([]byte(nil), content...)
+	edited = append(edited, []byte("\nfunc (q *Q) Len() int {\n\tq.mu.Lock()\n\tdefer q.mu.Unlock()\n\treturn len(q.ch)\n}\n")...)
+	if err := os.WriteFile(aPath, edited, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	after, afterStats, err := lint.Check(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if afterStats.LoadSkipped {
+		t.Fatal("post-edit run claims it skipped loading")
+	}
+	if afterStats.ModularHits != 1 || afterStats.ModularMisses != 1 {
+		t.Fatalf("post-edit stats %+v, want the untouched package's modular entry to hit", afterStats)
+	}
+	if afterStats.GlobalHits != 0 || afterStats.GlobalMisses != 2 {
+		t.Fatalf("post-edit stats %+v, want the global tier to miss everywhere", afterStats)
+	}
+	warmAfter, warmAfterStats, err := lint.Check(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warmAfterStats.LoadSkipped {
+		t.Fatalf("second post-edit run stats %+v, want LoadSkipped", warmAfterStats)
+	}
+	if !bytes.Equal(marshalFindings(t, after), marshalFindings(t, warmAfter)) {
+		t.Fatal("post-edit warm findings diverge from the post-edit cold run")
+	}
+}
+
+// TestCheckRosterInvalidates pins the analyzer-roster salt: the same
+// sources probed with a different analyzer set miss the cache.
+func TestCheckRosterInvalidates(t *testing.T) {
+	root := fixtureModule(t)
+	opts := lint.CheckOptions{Dir: root, CacheDir: filepath.Join(root, ".lintcache")}
+	if _, _, err := lint.Check(opts); err != nil {
+		t.Fatal(err)
+	}
+	subset := lint.All()[:len(lint.All())-1]
+	_, stats, err := lint.Check(lint.CheckOptions{
+		Dir: root, CacheDir: opts.CacheDir, Analyzers: subset,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.LoadSkipped {
+		t.Fatalf("roster change stats %+v, want a full re-run", stats)
+	}
+	if stats.ModularMisses == 0 && stats.GlobalMisses == 0 {
+		t.Fatalf("roster change stats %+v, want misses", stats)
+	}
+}
+
+// TestCheckNoCache pins the uncached path: same findings as the cached
+// cold run, zero-valued stats.
+func TestCheckNoCache(t *testing.T) {
+	root := fixtureModule(t)
+	plain, stats, err := lint.Check(lint.CheckOptions{Dir: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats != (lint.CacheStats{}) {
+		t.Fatalf("uncached stats = %+v, want zero", stats)
+	}
+	cached, _, err := lint.Check(lint.CheckOptions{Dir: root, CacheDir: filepath.Join(root, ".lintcache")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(marshalFindings(t, plain), marshalFindings(t, cached)) {
+		t.Fatal("uncached and cached cold runs disagree")
+	}
+}

@@ -109,6 +109,9 @@ func checkCtxFunc(pass *analysis.Pass, prog *Program, n *callgraph.Node) {
 		return
 	}
 	for _, b := range f.Conc.Blocking {
+		if b.InGo {
+			continue // blocks a spawned goroutine, not this ctx's caller
+		}
 		pass.Reportf(b.Pos, "%s in a function that takes a ctx it never consults; cancellation cannot interrupt this", b.What)
 	}
 	// Calls into may-blocking helpers that forward no ctx: the helper

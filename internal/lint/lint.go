@@ -27,12 +27,14 @@ import (
 // (errflow, exhaustenum, nilfacade) built on internal/lint/cfg, the
 // interprocedural tier (detreach, privtaint, spawnleak, plus
 // nilfacade's summary-driven upgrade) built on internal/lint/callgraph
-// and internal/lint/summary, and the concurrency tier (locksafe,
+// and internal/lint/summary, the concurrency tier (locksafe,
 // chanowner, ctxflow) built on the lockset/escape summaries and the
-// graph's spawn edges.
+// graph's spawn edges, and the deadlock tier (lockorder, blockhold)
+// built on the acquisition-order and blocking-under-lock facts.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		AngleUnits,
+		BlockHold,
 		ChanOwner,
 		CtxFlow,
 		DetClock,
@@ -42,11 +44,28 @@ func All() []*analysis.Analyzer {
 		ExhaustEnum,
 		LatLonBounds,
 		LockedMap,
+		LockOrder,
 		LockSafe,
 		NilFacade,
 		PrivTaint,
 		SpawnLeak,
 	}
+}
+
+// Modular reports whether a's findings depend only on the target
+// package and its import closure — the syntactic and CFG tiers. Every
+// analyzer consulting the call graph or the bottom-up summaries is
+// global: CHA resolution, spawn flooding and entry locksets all see
+// packages outside the target's own closure, so the incremental driver
+// keys their cached findings on the whole-program fingerprint instead
+// of the per-package one.
+func Modular(a *analysis.Analyzer) bool {
+	switch a.Name {
+	case "angleunits", "detclock", "durationseconds", "errflow",
+		"exhaustenum", "latlonbounds", "lockedmap":
+		return true
+	}
+	return false
 }
 
 // Finding is one diagnostic, positioned and attributed.

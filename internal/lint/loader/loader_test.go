@@ -3,6 +3,7 @@ package loader
 import (
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 )
 
@@ -45,6 +46,122 @@ func TestLoadUnresolvable(t *testing.T) {
 	ld := New(SrcDir(fixtureRoot))
 	if _, err := ld.Load("no/such/package"); err == nil {
 		t.Fatal("loading a nonexistent package succeeded")
+	}
+}
+
+// TestLoadConcurrent hammers one Loader from many goroutines asking
+// for overlapping packages: every request for a path must get the same
+// memoized instance, with the type-check happening once (the -race run
+// is the real assertion here).
+func TestLoadConcurrent(t *testing.T) {
+	ld := New(SrcDir(fixtureRoot))
+	paths := []string{"latlonbounds", "geo", "lockorder", "lockorder/other", "lockorder/core", "blockhold"}
+	got := make([]*Package, len(paths)*4)
+	var wg sync.WaitGroup
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := ld.Load(paths[i%len(paths)])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i] = p
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for i, p := range got {
+		if first := got[i%len(paths)]; p != first {
+			t.Fatalf("Load(%s) returned distinct instances", paths[i%len(paths)])
+		}
+	}
+}
+
+// TestLoadAll drives the DAG scheduler over hand-built metadata for
+// the fixture tree: roots come back in request order, dependencies are
+// loaded, and a root missing from the metadata map is an error rather
+// than a hang.
+func TestLoadAll(t *testing.T) {
+	metas := map[string]PackageMeta{
+		"lockorder":       {ImportPath: "lockorder", Imports: []string{"lockorder/core"}},
+		"lockorder/other": {ImportPath: "lockorder/other", Imports: []string{"lockorder/core"}},
+		"lockorder/core":  {ImportPath: "lockorder/core"},
+		"latlonbounds":    {ImportPath: "latlonbounds", Imports: []string{"geo"}},
+		"geo":             {ImportPath: "geo"},
+	}
+	ld := New(SrcDir(fixtureRoot))
+	roots := []string{"lockorder/other", "lockorder", "latlonbounds"}
+	pkgs, err := ld.LoadAll(metas, roots, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != len(roots) {
+		t.Fatalf("LoadAll returned %d packages, want %d", len(pkgs), len(roots))
+	}
+	for i, p := range pkgs {
+		if p.Path != roots[i] {
+			t.Fatalf("pkgs[%d].Path = %s, want %s", i, p.Path, roots[i])
+		}
+	}
+	if ld.Package("lockorder/core") == nil || ld.Package("geo") == nil {
+		t.Fatal("dependencies missing after LoadAll")
+	}
+	if _, err := ld.LoadAll(metas, []string{"no/such"}, 2); err == nil {
+		t.Fatal("LoadAll with unknown root succeeded")
+	}
+}
+
+// TestLoadAllCycle pins that metadata cycles are rejected up front
+// instead of deadlocking the worker pool.
+func TestLoadAllCycle(t *testing.T) {
+	metas := map[string]PackageMeta{
+		"a": {ImportPath: "a", Imports: []string{"b"}},
+		"b": {ImportPath: "b", Imports: []string{"a"}},
+	}
+	ld := New(SrcDir(fixtureRoot))
+	if _, err := ld.LoadAll(metas, []string{"a"}, 2); err == nil {
+		t.Fatal("LoadAll over a cyclic DAG succeeded")
+	}
+}
+
+// TestGoListDeps checks the metadata contract on the real module:
+// module-local imports only, sorted, and the loader package itself
+// depends on nothing module-local.
+func TestGoListDeps(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metas, _, roots, err := GoListDeps(root, "./internal/lint/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roots) == 0 {
+		t.Fatal("GoListDeps found no roots")
+	}
+	lintMeta, ok := metas["locwatch/internal/lint"]
+	if !ok {
+		t.Fatal("no metadata for locwatch/internal/lint")
+	}
+	wantDep := "locwatch/internal/lint/summary"
+	found := false
+	for _, imp := range lintMeta.Imports {
+		if _, ok := metas[imp]; !ok {
+			t.Fatalf("import %s of internal/lint has no metadata entry", imp)
+		}
+		if imp == wantDep {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("internal/lint imports %v, want %s among them", lintMeta.Imports, wantDep)
+	}
+	if len(lintMeta.GoFiles) == 0 {
+		t.Fatal("internal/lint metadata lists no Go files")
 	}
 }
 

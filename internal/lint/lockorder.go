@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"fmt"
+	"go/types"
+
+	"locwatch/internal/lint/analysis"
+	"locwatch/internal/lint/callgraph"
+	"locwatch/internal/lint/summary"
+)
+
+// LockOrder is the deadlock half of the concurrency tier: it assembles
+// every held-before-acquired observation the summary fixpoint recorded
+// (directly, or lifted through callee Acquires along call edges) into
+// one global lock-order graph and reports two defect shapes.
+//
+// A *cycle* — some code path acquires A before B while another acquires
+// B before A — deadlocks as soon as two goroutines interleave the two
+// paths. Each concrete edge on a cycle is reported in the package that
+// owns it, with a two-path witness: the forward chain to the
+// acquisition of B, then the reverse chain proving B is ordered before
+// A elsewhere. A *self-edge* — a mutex acquired while already held, in
+// one function or through a call chain — deadlocks its own goroutine
+// with no second party needed (sync.Mutex is not reentrant). Pure
+// read-read self-edges are skipped: nested RLocks are legal.
+//
+// Only identity-shared locks (struct fields, package-level variables)
+// join the cross-function graph: a local mutex is a fresh instance per
+// call, so a type-level order through it proves nothing. The usual
+// tier limits apply (DESIGN §6): no mutex aliasing — a lock reached
+// through a reassigned pointer is a different variable — and no
+// happens-before reasoning, so two orders that can never run in
+// parallel still count as a cycle.
+var LockOrder = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "flags inconsistent mutex acquisition orders (deadlock cycles) with a two-path witness, " +
+		"and re-acquisitions of a mutex already held (self-deadlock)",
+	Run: runLockOrder,
+}
+
+// orderObs is one order edge with the function it was observed in.
+type orderObs struct {
+	node *callgraph.Node
+	ed   summary.OrderEdge
+}
+
+func runLockOrder(pass *analysis.Pass) error {
+	prog := program(pass)
+	if prog == nil {
+		return nil
+	}
+	prog.concState()
+
+	// The global order graph, in deterministic callgraph order. The
+	// adjacency index only holds cross-lock edges between shared locks —
+	// the only ones a cycle can run through.
+	var all []orderObs
+	adj := make(map[*types.Var][]orderObs)
+	for _, n := range prog.Graph.Nodes() {
+		f := prog.Sums.OfNode(n)
+		if f == nil {
+			continue
+		}
+		for _, ed := range f.Conc.OrderEdges {
+			obs := orderObs{node: n, ed: ed}
+			all = append(all, obs)
+			if ed.Before != ed.After && summary.SharedLockVar(ed.Before) && summary.SharedLockVar(ed.After) {
+				adj[ed.Before] = append(adj[ed.Before], obs)
+			}
+		}
+	}
+
+	for _, obs := range all {
+		if obs.node.Pkg.Types != pass.Pkg {
+			continue
+		}
+		ed := obs.ed
+		if ed.Before == ed.After {
+			if ed.BeforeRead && ed.AfterRead {
+				continue // nested RLocks are legal
+			}
+			d := analysis.Diagnostic{Pos: ed.Pos, Message: fmt.Sprintf(
+				"%s re-acquired while already held in %s; sync mutexes are not reentrant, this goroutine deadlocks itself",
+				prog.lockLabel(ed.After), obs.node.Name())}
+			d.Related = orderHops(ed, prog)
+			pass.Report(d)
+			continue
+		}
+		if !summary.SharedLockVar(ed.Before) || !summary.SharedLockVar(ed.After) {
+			continue
+		}
+		back := orderPath(adj, ed.After, ed.Before)
+		if back == nil {
+			continue
+		}
+		d := analysis.Diagnostic{Pos: ed.Pos, Message: fmt.Sprintf(
+			"lock order cycle: %s acquired while holding %s, but %s is ordered before %s elsewhere (see related); "+
+				"two goroutines interleaving the orders deadlock",
+			prog.lockLabel(ed.After), prog.lockLabel(ed.Before),
+			prog.lockLabel(ed.After), prog.lockLabel(ed.Before))}
+		d.Related = orderHops(ed, prog)
+		for _, rev := range back {
+			d.Related = append(d.Related, analysis.RelatedPos{Pos: rev.ed.Pos, Message: fmt.Sprintf(
+				"reverse order: %s held when %s is acquired in %s",
+				prog.lockLabel(rev.ed.Before), prog.lockLabel(rev.ed.After), rev.node.Name())})
+			d.Related = append(d.Related, orderHops(rev.ed, prog)...)
+		}
+		pass.Report(d)
+	}
+	return nil
+}
+
+// orderHops renders an edge's call chain down to the acquisition, in
+// the locksafe witness style.
+func orderHops(ed summary.OrderEdge, prog *Program) []analysis.RelatedPos {
+	var hops []analysis.RelatedPos
+	for _, hop := range ed.Via {
+		hops = append(hops, analysis.RelatedPos{Pos: hop.Pos, Message: "via call to " + hop.Name})
+	}
+	if ed.AfterSite.IsValid() && ed.AfterSite != ed.Pos {
+		hops = append(hops, analysis.RelatedPos{Pos: ed.AfterSite,
+			Message: prog.lockLabel(ed.After) + " acquired here"})
+	}
+	return hops
+}
+
+// orderPath finds a path from→to over the shared-lock adjacency (BFS,
+// shortest first; deterministic because adjacency lists are built in
+// callgraph order).
+func orderPath(adj map[*types.Var][]orderObs, from, to *types.Var) []orderObs {
+	type entry struct {
+		lock *types.Var
+		path []orderObs
+	}
+	visited := map[*types.Var]bool{from: true}
+	queue := []entry{{lock: from}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, obs := range adj[cur.lock] {
+			next := obs.ed.After
+			path := append(append([]orderObs(nil), cur.path...), obs)
+			if next == to {
+				return path
+			}
+			if !visited[next] {
+				visited[next] = true
+				queue = append(queue, entry{lock: next, path: path})
+			}
+		}
+	}
+	return nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/types"
 	"sort"
+	"strings"
 
 	"locwatch/internal/lint/analysis"
 	"locwatch/internal/lint/callgraph"
@@ -148,7 +149,7 @@ func (p *Program) RunPackage(pkg *loader.Package, a *analysis.Analyzer) ([]Findi
 }
 
 // Run applies every analyzer to every target package and returns the
-// combined findings sorted by position.
+// combined findings sorted and deduplicated.
 func (p *Program) Run(analyzers []*analysis.Analyzer) ([]Finding, error) {
 	var all []Finding
 	for _, pkg := range p.Targets {
@@ -160,24 +161,89 @@ func (p *Program) Run(analyzers []*analysis.Analyzer) ([]Finding, error) {
 			all = append(all, fs...)
 		}
 	}
+	return finalizeFindings(all), nil
+}
+
+// finalizeFindings puts findings into canonical report order and
+// collapses duplicates. An interprocedural analyzer can derive the
+// same diagnostic through several CHA witness paths (two dynamic
+// callees both reaching one blocking site, say); the paths differ only
+// in the Related chain, so findings agreeing on analyzer, position and
+// message are one defect. The sort is a total order — ties on the
+// primary key fall through to the witness chains — so the survivor of
+// each duplicate group is deterministic, keeping SARIF output and
+// baseline fingerprints stable across runs and cache replays.
+func finalizeFindings(all []Finding) []Finding {
 	sortFindings(all)
-	return all, nil
+	out := all[:0]
+	for i, f := range all {
+		if i > 0 {
+			prev := out[len(out)-1]
+			if f.Analyzer == prev.Analyzer && f.File == prev.File &&
+				f.Line == prev.Line && f.Column == prev.Column &&
+				f.Message == prev.Message {
+				continue
+			}
+		}
+		out = append(out, f)
+	}
+	return out
 }
 
 func sortFindings(all []Finding) {
 	sort.Slice(all, func(i, j int) bool {
-		a, b := all[i], all[j]
-		if a.File != b.File {
-			return a.File < b.File
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		if a.Column != b.Column {
-			return a.Column < b.Column
-		}
-		return a.Analyzer < b.Analyzer
+		return compareFindings(all[i], all[j]) < 0
 	})
+}
+
+// compareFindings is a total order over findings: position, analyzer
+// and message first, then the related chain, so equal-key duplicates
+// still sort deterministically by witness path.
+func compareFindings(a, b Finding) int {
+	if c := strings.Compare(a.File, b.File); c != 0 {
+		return c
+	}
+	if a.Line != b.Line {
+		return cmpInt(a.Line, b.Line)
+	}
+	if a.Column != b.Column {
+		return cmpInt(a.Column, b.Column)
+	}
+	if c := strings.Compare(a.Analyzer, b.Analyzer); c != 0 {
+		return c
+	}
+	if c := strings.Compare(a.Message, b.Message); c != 0 {
+		return c
+	}
+	if len(a.Related) != len(b.Related) {
+		return cmpInt(len(a.Related), len(b.Related))
+	}
+	for i := range a.Related {
+		ra, rb := a.Related[i], b.Related[i]
+		if c := strings.Compare(ra.File, rb.File); c != 0 {
+			return c
+		}
+		if ra.Line != rb.Line {
+			return cmpInt(ra.Line, rb.Line)
+		}
+		if ra.Column != rb.Column {
+			return cmpInt(ra.Column, rb.Column)
+		}
+		if c := strings.Compare(ra.Message, rb.Message); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+func cmpInt(a, b int) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
 }
 
 // program extracts the *Program from a pass, or nil when the driver

@@ -7,16 +7,18 @@ import (
 	"locwatch/internal/lint/loader"
 )
 
-// TestRegistryComplete pins the analyzer suite: the interprocedural
-// tier (detreach, privtaint, spawnleak, the summary-driven nilfacade)
-// and the concurrency tier (locksafe, chanowner, ctxflow) must be
-// registered alongside the syntactic and flow-sensitive tiers, so
-// `locwatchlint ./...` and TestSuiteCleanOnRepo actually gate on them.
+// TestRegistryComplete pins the 16-analyzer suite: the interprocedural
+// tier (detreach, privtaint, spawnleak, the summary-driven nilfacade),
+// the concurrency tier (locksafe, chanowner, ctxflow) and the deadlock
+// tier (lockorder, blockhold) must be registered alongside the
+// syntactic and flow-sensitive tiers, so `locwatchlint ./...` and
+// TestSuiteCleanOnRepo actually gate on them.
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
-		"angleunits", "chanowner", "ctxflow", "detclock", "detreach",
-		"durationseconds", "errflow", "exhaustenum", "latlonbounds",
-		"lockedmap", "locksafe", "nilfacade", "privtaint", "spawnleak",
+		"angleunits", "blockhold", "chanowner", "ctxflow", "detclock",
+		"detreach", "durationseconds", "errflow", "exhaustenum",
+		"latlonbounds", "lockedmap", "lockorder", "locksafe", "nilfacade",
+		"privtaint", "spawnleak",
 	}
 	all := lint.All()
 	if len(all) != len(want) {
@@ -25,6 +27,21 @@ func TestRegistryComplete(t *testing.T) {
 	for i, a := range all {
 		if a.Name != want[i] {
 			t.Errorf("lint.All()[%d] = %s, want %s (suite must stay sorted)", i, a.Name, want[i])
+		}
+	}
+	// The modular/global split must classify every registered analyzer;
+	// the deadlock and concurrency tiers are global by construction.
+	for _, a := range all {
+		switch a.Name {
+		case "lockorder", "blockhold", "locksafe", "chanowner", "ctxflow",
+			"detreach", "privtaint", "spawnleak", "nilfacade":
+			if lint.Modular(a) {
+				t.Errorf("%s consults whole-program state but is classified modular", a.Name)
+			}
+		default:
+			if !lint.Modular(a) {
+				t.Errorf("%s is package-local but classified global", a.Name)
+			}
 		}
 	}
 }

@@ -99,9 +99,10 @@ type ChanIssue struct {
 type ConcCall struct {
 	Pos token.Pos
 	// Held/Closed snapshot the must-held locks and may-closed channel
-	// fields at the call.
-	Held   []*types.Var
-	Closed []*types.Var
+	// fields at the call; ReadHeld ⊆ Held are the read-locked ones.
+	Held     []*types.Var
+	ReadHeld []*types.Var
+	Closed   []*types.Var
 	// RecvRoot is the caller parameter index the receiver expression
 	// roots in (-1 if none); ArgRoots likewise per argument. Used to
 	// substitute callee escape bits into the caller's.
@@ -130,6 +131,46 @@ type ConcCall struct {
 type BlockSite struct {
 	Pos  token.Pos
 	What string
+	// InGo marks sites lexically inside a spawned goroutine's literal —
+	// they block that goroutine, not the function's caller.
+	InGo bool
+	// Held/ReadHeld snapshot the must-held locks (and the read-locked
+	// subset) at the site, captured during the CFG replay. A non-empty
+	// Held is the blockhold analyzer's trigger.
+	Held     []*types.Var
+	ReadHeld []*types.Var
+}
+
+// LockAcq is one mutex the function may acquire on its caller's
+// goroutine, directly or transitively through calls. Read marks RLock
+// acquisitions. Pos is the acquisition (or callsite) position in this
+// function; Via the call chain to the acquiring function, empty for
+// direct acquisitions. Only identity-shared locks (struct fields,
+// package-level variables) are recorded — a callee's locals are fresh
+// per call and cannot participate in a cross-function order.
+type LockAcq struct {
+	Lock *types.Var
+	Pos  token.Pos
+	Read bool
+	Via  []Hop
+	// SitePos is the ultimate Lock/RLock call, preserved through
+	// propagation (Pos becomes the local callsite anchor).
+	SitePos token.Pos
+}
+
+// OrderEdge records that Before was must-held when After was acquired:
+// one edge of the global lock-order graph. A self-edge (Before ==
+// After) is a double acquisition. BeforeRead/AfterRead carry the
+// read/write flavor of each side; Via is the call chain to the
+// acquisition when the edge crosses calls, empty for direct ones.
+type OrderEdge struct {
+	Before, After         *types.Var
+	BeforeRead, AfterRead bool
+	Pos                   token.Pos
+	Via                   []Hop
+	// AfterSite is the ultimate acquisition of After (== Pos for direct
+	// edges, the deep Lock/RLock call for propagated ones).
+	AfterSite token.Pos
 }
 
 // ConcFacts is the concurrency summary of one function.
@@ -150,13 +191,23 @@ type ConcFacts struct {
 	EscapeGo   Origins
 	EscapeChan Origins
 
-	// Blocking are the function's own unguarded blocking sites (main
-	// goroutine only). MayBlock additionally covers blocking callees
-	// reached without forwarding a context; BlockVia is the witness
-	// chain ending at the blocking operation.
+	// Blocking are the function's own unguarded blocking sites,
+	// goroutine-side ones marked InGo. MayBlock additionally covers
+	// blocking callees reached without forwarding a context (caller's
+	// goroutine only, so InGo sites are excluded); BlockVia is the
+	// witness chain ending at the blocking operation.
 	Blocking []BlockSite
 	MayBlock bool
 	BlockVia []Hop
+
+	// Acquires are the mutexes the function may lock on its caller's
+	// goroutine, transitively through calls; OrderEdges the
+	// held-before-acquired pairs observed anywhere in the function
+	// (goroutine literals included — their acquisitions order locks
+	// too, which is exactly how cross-goroutine deadlocks form). Both
+	// feed the lockorder analyzer's global order graph.
+	Acquires   []LockAcq
+	OrderEdges []OrderEdge
 
 	// UsesCtxDone reports that the body consults ctx.Done/Err/Deadline
 	// somewhere — the function is manifestly cancellation-aware.
@@ -286,6 +337,10 @@ type lockState struct {
 	must   []*types.Var
 	may    []*types.Var
 	closed []*types.Var
+	// reads ⊆ must: locks whose latest acquisition was RLock on every
+	// path (∩ at joins, so a Lock-vs-RLock merge conservatively counts
+	// as write-held).
+	reads []*types.Var
 }
 
 func (s lockState) clone() lockState {
@@ -293,6 +348,7 @@ func (s lockState) clone() lockState {
 		must:   append([]*types.Var(nil), s.must...),
 		may:    append([]*types.Var(nil), s.may...),
 		closed: append([]*types.Var(nil), s.closed...),
+		reads:  append([]*types.Var(nil), s.reads...),
 	}
 }
 
@@ -313,6 +369,15 @@ func (dst *lockState) join(src lockState) bool {
 		}
 	}
 	dst.must = must
+	var reads []*types.Var
+	for _, v := range dst.reads {
+		if containsVar(src.reads, v) {
+			reads = append(reads, v)
+		} else {
+			changed = true
+		}
+	}
+	dst.reads = reads
 	for _, v := range src.may {
 		if !containsVar(dst.may, v) {
 			dst.may = append(dst.may, v)
@@ -358,6 +423,13 @@ type concEval struct {
 	// default or a ctx.Done() case — not blocking sites.
 	guarded map[token.Pos]bool
 
+	// selectSite maps the comm-op positions of a blocking select back
+	// to the select's own position (its BlockSite), so the CFG replay
+	// can attach the entry lockset to the select. blockIdx indexes
+	// Blocking by position once the prescan is done.
+	selectSite map[token.Pos]token.Pos
+	blockIdx   map[token.Pos]int
+
 	// sharedVars are the variables published to another goroutine
 	// somewhere in the function: referenced inside a go statement
 	// (literal body, arguments, bound receiver) or sent on a channel.
@@ -383,6 +455,7 @@ func (c *computer) concScan(n *callgraph.Node) ConcFacts {
 		params:     paramIndexMap(n, n.Pkg.TypesInfo),
 		edges:      make(map[token.Pos]bool),
 		guarded:    make(map[token.Pos]bool),
+		selectSite: make(map[token.Pos]token.Pos),
 		queued:     make(map[*ast.BlockStmt]bool),
 		sharedVars: make(map[*types.Var]bool),
 	}
@@ -390,9 +463,13 @@ func (c *computer) concScan(n *callgraph.Node) ConcFacts {
 		e.edges[edge.Pos] = true
 	}
 	e.prescan(n.Decl.Body, false)
-	if len(e.out.Blocking) > 0 {
-		e.out.MayBlock = true
-		e.out.BlockVia = []Hop{{Name: e.out.Blocking[0].What, Pos: e.out.Blocking[0].Pos}}
+	e.blockIdx = make(map[token.Pos]int, len(e.out.Blocking))
+	for i, b := range e.out.Blocking {
+		e.blockIdx[b.Pos] = i
+		if !b.InGo && !e.out.MayBlock {
+			e.out.MayBlock = true
+			e.out.BlockVia = []Hop{{Name: b.What, Pos: b.Pos}}
+		}
 	}
 	e.queue = []concCtx{{body: n.Decl.Body}}
 	for len(e.queue) > 0 {
@@ -446,17 +523,17 @@ func (e *concEval) prescan(root ast.Node, inGo bool) {
 					e.out.EscapeChan |= ParamOrigin(p)
 				}
 			}
-			if !inGo && !e.guarded[m.Pos()] {
-				e.addBlocking(m.Pos(), "channel send")
+			if !e.guarded[m.Pos()] {
+				e.addBlocking(m.Pos(), "channel send", inGo)
 			}
 		case *ast.UnaryExpr:
-			if m.Op == token.ARROW && !inGo && !e.guarded[m.Pos()] && !e.isCtxDoneRecv(m.X) {
-				e.addBlocking(m.Pos(), "channel receive")
+			if m.Op == token.ARROW && !e.guarded[m.Pos()] && !e.isCtxDoneRecv(m.X) {
+				e.addBlocking(m.Pos(), "channel receive", inGo)
 			}
 		case *ast.RangeStmt:
 			if t := e.info.TypeOf(m.X); t != nil {
-				if _, ok := t.Underlying().(*types.Chan); ok && !inGo {
-					e.addBlocking(m.Pos(), "range over channel")
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					e.addBlocking(m.Pos(), "range over channel", inGo)
 				}
 			}
 		case *ast.CallExpr:
@@ -507,6 +584,7 @@ func (e *concEval) goEscapes(g *ast.GoStmt) {
 // ops are guarded; otherwise the select itself is one blocking site.
 func (e *concEval) prescanSelect(sel *ast.SelectStmt, inGo bool) {
 	hasComm, escapes := false, false
+	var commPos []token.Pos
 	for _, clause := range sel.Body.List {
 		cc, ok := clause.(*ast.CommClause)
 		if !ok {
@@ -521,9 +599,11 @@ func (e *concEval) prescanSelect(sel *ast.SelectStmt, inGo bool) {
 			switch m := m.(type) {
 			case *ast.SendStmt:
 				e.guarded[m.Pos()] = true
+				commPos = append(commPos, m.Pos())
 			case *ast.UnaryExpr:
 				if m.Op == token.ARROW {
 					e.guarded[m.Pos()] = true
+					commPos = append(commPos, m.Pos())
 					if e.isCtxDoneRecv(m.X) {
 						escapes = true
 					}
@@ -532,8 +612,11 @@ func (e *concEval) prescanSelect(sel *ast.SelectStmt, inGo bool) {
 			return true
 		})
 	}
-	if !escapes && (hasComm || len(sel.Body.List) == 0) && !inGo {
-		e.addBlocking(sel.Pos(), "select with no default or ctx.Done() case")
+	if !escapes && (hasComm || len(sel.Body.List) == 0) {
+		e.addBlocking(sel.Pos(), "select with no default or ctx.Done() case", inGo)
+		for _, p := range commPos {
+			e.selectSite[p] = sel.Pos()
+		}
 	}
 }
 
@@ -545,20 +628,17 @@ func (e *concEval) prescanCall(call *ast.CallExpr, inGo bool) {
 				e.out.UsesCtxDone = true
 			}
 		case "Wait":
-			if inGo {
-				return
-			}
 			if v := tokenVar(e.info, sel.X); v != nil {
 				if isWaitGroup(v.Type()) {
-					e.addBlocking(call.Pos(), "sync.WaitGroup.Wait")
+					e.addBlocking(call.Pos(), "sync.WaitGroup.Wait", inGo)
 				} else if isSyncCond(v.Type()) {
-					e.addBlocking(call.Pos(), "sync.Cond.Wait")
+					e.addBlocking(call.Pos(), "sync.Cond.Wait", inGo)
 				}
 			}
 		case "Sleep":
 			if fn, _ := e.info.Uses[sel.Sel].(*types.Func); fn != nil && fn.Pkg() != nil &&
-				fn.Pkg().Name() == "time" && !inGo {
-				e.addBlocking(call.Pos(), "time.Sleep")
+				fn.Pkg().Name() == "time" {
+				e.addBlocking(call.Pos(), "time.Sleep", inGo)
 			}
 		}
 	}
@@ -588,13 +668,77 @@ func (e *concEval) isCtxDoneRecv(x ast.Expr) bool {
 	return IsContextType(e.info.TypeOf(sel.X))
 }
 
-func (e *concEval) addBlocking(pos token.Pos, what string) {
+func (e *concEval) addBlocking(pos token.Pos, what string, inGo bool) {
 	for _, b := range e.out.Blocking {
 		if b.Pos == pos {
 			return
 		}
 	}
-	e.out.Blocking = append(e.out.Blocking, BlockSite{Pos: pos, What: what})
+	e.out.Blocking = append(e.out.Blocking, BlockSite{Pos: pos, What: what, InGo: inGo})
+}
+
+// markBlock snapshots the must-held lockset at a blocking site during
+// the CFG replay. Comm ops of a blocking select attribute to the select
+// itself; positions that are not blocking sites are ignored.
+func (e *concEval) markBlock(pos token.Pos, st *lockState) {
+	if sp, ok := e.selectSite[pos]; ok {
+		pos = sp
+	}
+	i, ok := e.blockIdx[pos]
+	if !ok {
+		return
+	}
+	b := &e.out.Blocking[i]
+	if b.Held == nil && len(st.must) > 0 {
+		b.Held = append([]*types.Var(nil), st.must...)
+		b.ReadHeld = append([]*types.Var(nil), st.reads...)
+	}
+}
+
+// recordAcquire logs a direct Lock/RLock: the acquisition itself (for
+// the transitive Acquires set — shared locks only, and only on the
+// caller's goroutine) and one order edge per must-held lock. A lock
+// already in the must-set yields a self-edge, a double acquisition.
+func (e *concEval) recordAcquire(v *types.Var, pos token.Pos, read bool, st *lockState) {
+	if !e.cur.inGo && SharedLockVar(v) {
+		e.out.Acquires = addAcquire(e.out.Acquires, LockAcq{Lock: v, Pos: pos, Read: read, SitePos: pos})
+	}
+	for _, h := range st.must {
+		e.out.OrderEdges = addOrderEdge(e.out.OrderEdges, OrderEdge{
+			Before: h, After: v,
+			BeforeRead: containsVar(st.reads, h), AfterRead: read,
+			Pos: pos, AfterSite: pos,
+		})
+	}
+}
+
+// SharedLockVar reports whether v names a lock shared across functions
+// by identity: a struct field or a package-level variable. Locals are
+// fresh per call and stay out of the cross-function order graph.
+func SharedLockVar(v *types.Var) bool {
+	if v.IsField() {
+		return true
+	}
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+func addAcquire(acqs []LockAcq, a LockAcq) []LockAcq {
+	for _, prev := range acqs {
+		if prev.Lock == a.Lock && prev.Read == a.Read {
+			return acqs
+		}
+	}
+	return append(acqs, a)
+}
+
+func addOrderEdge(edges []OrderEdge, ed OrderEdge) []OrderEdge {
+	for _, prev := range edges {
+		if prev.Before == ed.Before && prev.After == ed.After &&
+			prev.BeforeRead == ed.BeforeRead && prev.AfterRead == ed.AfterRead {
+			return edges
+		}
+	}
+	return append(edges, ed)
 }
 
 // --- the CFG-driven lockset walk ---
@@ -648,6 +792,9 @@ func (e *concEval) applyNode(node ast.Node, st *lockState, rec bool) {
 	case *ast.IncDecStmt:
 		e.walkLHS(m.X, st, rec)
 	case *ast.SendStmt:
+		if rec {
+			e.markBlock(m.Pos(), st)
+		}
 		e.walkExpr(m.Value, st, rec)
 		if f := chanField(e.info, m.Chan); f != nil {
 			if rec {
@@ -689,6 +836,9 @@ func (e *concEval) applyNode(node ast.Node, st *lockState, rec bool) {
 		}
 	case *ast.RangeStmt:
 		// Shallow: the head only — the body lives in its own blocks.
+		if rec {
+			e.markBlock(m.Pos(), st)
+		}
 		e.walkExpr(m.X, st, rec)
 		if m.Tok == token.ASSIGN {
 			if m.Key != nil {
@@ -795,6 +945,9 @@ func (e *concEval) walkExpr(x ast.Expr, st *lockState, rec bool) {
 	case *ast.CallExpr:
 		e.callOp(x, st, rec, false)
 	case *ast.UnaryExpr:
+		if x.Op == token.ARROW && rec {
+			e.markBlock(x.Pos(), st)
+		}
 		e.walkExpr(x.X, st, rec)
 	case *ast.StarExpr:
 		e.walkExpr(x.X, st, rec)
@@ -823,16 +976,29 @@ func (e *concEval) walkExpr(x ast.Expr, st *lockState, rec bool) {
 // whose concurrency context is recorded for the bottom-up fixpoint.
 // asGo marks the direct call of a `go f()` statement.
 func (e *concEval) callOp(call *ast.CallExpr, st *lockState, rec bool, asGo bool) {
+	if rec {
+		e.markBlock(call.Pos(), st)
+	}
 	fun := unparenE(call.Fun)
 	if sel, ok := fun.(*ast.SelectorExpr); ok && isLockOpName(sel.Sel.Name) {
 		if v := tokenVar(e.info, sel.X); v != nil && isMutex(v.Type()) {
 			switch sel.Sel.Name {
 			case "Lock", "RLock":
+				read := sel.Sel.Name == "RLock"
+				if rec {
+					e.recordAcquire(v, call.Pos(), read, st)
+				}
 				st.must = appendVars(st.must, []*types.Var{v})
 				st.may = appendVars(st.may, []*types.Var{v})
+				if read {
+					st.reads = appendVars(st.reads, []*types.Var{v})
+				} else {
+					st.reads = removeVar(st.reads, v)
+				}
 			case "Unlock", "RUnlock":
 				st.must = removeVar(st.must, v)
 				st.may = removeVar(st.may, v)
+				st.reads = removeVar(st.reads, v)
 			}
 			// TryLock success is path-dependent; treated as not held.
 			return
@@ -876,6 +1042,7 @@ func (e *concEval) recordCall(call *ast.CallExpr, st *lockState, asGo bool) {
 	cc := ConcCall{
 		Pos:      call.Pos(),
 		Held:     append([]*types.Var(nil), st.must...),
+		ReadHeld: append([]*types.Var(nil), st.reads...),
 		Closed:   append([]*types.Var(nil), st.closed...),
 		RecvRoot: -1,
 		InGo:     e.cur.inGo || asGo,
@@ -1081,6 +1248,29 @@ func (c *computer) concFlow(n *callgraph.Node) bool {
 				f.Conc.MayBlock = true
 				f.Conc.BlockVia = append([]Hop{{Name: callee.Name(), Pos: call.Pos}}, cf.Conc.BlockVia...)
 				changed = true
+			}
+			// Lock acquisitions flow up calls on the caller's own
+			// goroutine, and every lock held at the callsite orders
+			// before everything the callee may acquire — including a
+			// self-edge when the callee re-locks a held mutex.
+			if !call.InGo {
+				for _, acq := range cf.Conc.Acquires {
+					via := append([]Hop{{Name: callee.Name(), Pos: call.Pos}}, acq.Via...)
+					before := len(f.Conc.Acquires)
+					f.Conc.Acquires = addAcquire(f.Conc.Acquires, LockAcq{
+						Lock: acq.Lock, Pos: call.Pos, Read: acq.Read, Via: via, SitePos: acq.SitePos,
+					})
+					changed = changed || len(f.Conc.Acquires) != before
+					for _, h := range call.Held {
+						nEdges := len(f.Conc.OrderEdges)
+						f.Conc.OrderEdges = addOrderEdge(f.Conc.OrderEdges, OrderEdge{
+							Before: h, After: acq.Lock,
+							BeforeRead: containsVar(call.ReadHeld, h), AfterRead: acq.Read,
+							Pos: call.Pos, Via: via, AfterSite: acq.SitePos,
+						})
+						changed = changed || len(f.Conc.OrderEdges) != nEdges
+					}
+				}
 			}
 			// Escape bits substitute through the argument→parameter map.
 			for slot, callerParam := range calleeSlots(call, callee) {

@@ -94,6 +94,73 @@ func Leaker() {
 	s.Push(6)
 }
 
+// Two carries the lock-order shapes: a acquired before b directly, and
+// through a call.
+type Two struct {
+	a, b sync.Mutex
+	n    int
+}
+
+// OrderAB locks a then b: a direct a→b order edge and two acquires.
+func (t *Two) OrderAB() {
+	t.a.Lock()
+	defer t.a.Unlock()
+	t.b.Lock()
+	t.n++
+	t.b.Unlock()
+}
+
+func (t *Two) lockB() {
+	t.b.Lock()
+	t.n++
+	t.b.Unlock()
+}
+
+// OrderVia holds a across a call that locks b: the a→b edge crosses
+// the call with a witness hop, and b joins OrderVia's Acquires.
+func (t *Two) OrderVia() {
+	t.a.Lock()
+	defer t.a.Unlock()
+	t.lockB()
+}
+
+// Twice re-locks a held mutex: a self-edge.
+func (t *Two) Twice() {
+	t.a.Lock()
+	t.a.Lock()
+	t.a.Unlock()
+	t.a.Unlock()
+}
+
+// LQ pins the blocking-site lockset capture.
+type LQ struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+}
+
+// SendLocked blocks on a send with mu held.
+func (q *LQ) SendLocked(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.ch <- v
+}
+
+// SendRead blocks on a send with the read half held.
+func (q *LQ) SendRead(v int) {
+	q.rw.RLock()
+	defer q.rw.RUnlock()
+	q.ch <- v
+}
+
+// GoRecv blocks inside a spawned goroutine: the site is InGo and must
+// not make GoRecv itself may-block.
+func (q *LQ) GoRecv() {
+	go func() {
+		<-q.ch
+	}()
+}
+
 // Wait is a bare blocking receive.
 func Wait(ch chan int) int { return <-ch }
 

@@ -1,0 +1,101 @@
+// Package blockhold is the blocking-under-lock fixture: channel ops,
+// sleeps, waits and may-blocking call chains executed with a mutex
+// held, plus the silent forms — unlock-before-block, select with a
+// default, and a justified suppression.
+package blockhold
+
+import (
+	"sync"
+	"time"
+)
+
+type Q struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+	n  int
+}
+
+// SendLocked blocks on the send with mu held: the consumer that would
+// drain ch may need mu, and then nobody moves.
+func (q *Q) SendLocked(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.ch <- v // want `channel send while holding Q\.mu`
+}
+
+// SendAfterUnlock releases the lock before blocking: silent.
+func (q *Q) SendAfterUnlock(v int) {
+	q.mu.Lock()
+	q.n++
+	q.mu.Unlock()
+	q.ch <- v
+}
+
+// TrySend polls under the lock — the default case makes the select
+// non-blocking: silent.
+func (q *Q) TrySend(v int) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case q.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// SleepLocked naps with the lock held.
+func (q *Q) SleepLocked() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding Q\.mu`
+}
+
+// drain may block on its own (range over the channel).
+func (q *Q) drain() {
+	for range q.ch {
+	}
+}
+
+// DrainLocked reaches the blocking callee with the lock held: the
+// report carries drain's witness chain.
+func (q *Q) DrainLocked() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.drain() // want `call to drain may block while holding Q\.mu`
+}
+
+// ReadSend blocks while read-locked: a blocked reader still wedges
+// every writer, and writers queued behind it wedge later readers.
+func (q *Q) ReadSend(v int) {
+	q.rw.RLock()
+	defer q.rw.RUnlock()
+	q.ch <- v // want `channel send while holding Q\.rw \(read-locked\)`
+}
+
+// WaitLocked parks on a WaitGroup with the lock held — if a worker
+// needs mu to finish, Done never comes.
+func (q *Q) WaitLocked(wg *sync.WaitGroup) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	wg.Wait() // want `sync\.WaitGroup\.Wait while holding Q\.mu`
+}
+
+// GoSend: the spawned goroutine takes its own lock and blocks under
+// it — goroutine-side sites wedge the lock all the same.
+func (q *Q) GoSend(v int) {
+	go func() {
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		q.ch <- v // want `channel send while holding Q\.mu`
+	}()
+}
+
+// Ignored documents a justified hold-across-send.
+func (q *Q) Ignored(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	//lint:ignore blockhold the consumer never takes q.mu
+	q.ch <- v
+}

@@ -1,0 +1,16 @@
+// Package core holds the shared lock-bearing types for the
+// cross-package cycle shape: the conflicting orders live in the
+// lockorder and lockorder/other fixture packages.
+package core
+
+import "sync"
+
+type A struct {
+	Mu sync.Mutex
+	N  int
+}
+
+type B struct {
+	Mu sync.Mutex
+	N  int
+}

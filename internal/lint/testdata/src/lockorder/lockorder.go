@@ -1,0 +1,197 @@
+// Package lockorder is the deadlock-tier fixture: acquisition-order
+// cycles (direct, through calls, cross-package), self-deadlocks by
+// re-acquisition, and the silent forms — consistent orders, sequential
+// handoff, nested read locks, and a suppressed side.
+package lockorder
+
+import (
+	"sync"
+
+	"lockorder/core"
+)
+
+// Pair is the in-package cycle: AB holds a (by defer, so it stays held)
+// while taking b, BA does the reverse. Both sides report.
+type Pair struct {
+	a, b sync.Mutex
+	n    int
+}
+
+func (p *Pair) AB() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock() // want `lock order cycle: Pair\.b acquired while holding Pair\.a`
+	p.n++
+	p.b.Unlock()
+}
+
+func (p *Pair) BA() {
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.a.Lock() // want `lock order cycle: Pair\.a acquired while holding Pair\.b`
+	p.n++
+	p.a.Unlock()
+}
+
+// Store/Index form a cycle through a call: Put holds Store.mu across
+// insert (which locks Index.mu), Rebalance orders them the other way.
+type Store struct {
+	mu  sync.Mutex
+	idx Index
+}
+
+type Index struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (i *Index) insert() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.n++
+}
+
+func (s *Store) Put() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.idx.insert() // want `lock order cycle: Index\.mu acquired while holding Store\.mu`
+}
+
+func (i *Index) Rebalance(s *Store) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	s.mu.Lock() // want `lock order cycle: Store\.mu acquired while holding Index\.mu`
+	s.mu.Unlock()
+}
+
+// Self deadlocks its own goroutine: directly, and through a helper
+// that re-locks the held mutex.
+type Self struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *Self) Twice() {
+	s.mu.Lock()
+	s.mu.Lock() // want `Self\.mu re-acquired while already held`
+	s.n++
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func (s *Self) bump() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+func (s *Self) Outer() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bump() // want `Self\.mu re-acquired while already held`
+}
+
+// Seq releases a before taking b — the sequential handoff breaks the
+// order edge, so the reverse order in Reverse is not a cycle.
+type Seq struct {
+	a, b sync.Mutex
+	n    int
+}
+
+func (s *Seq) Handoff() {
+	s.a.Lock()
+	s.n++
+	s.a.Unlock()
+	s.b.Lock()
+	s.n++
+	s.b.Unlock()
+}
+
+func (s *Seq) Reverse() {
+	s.b.Lock()
+	defer s.b.Unlock()
+	s.a.Lock()
+	s.n++
+	s.a.Unlock()
+}
+
+// Ok uses the same order everywhere: silent.
+type Ok struct {
+	a, b sync.Mutex
+	n    int
+}
+
+func (o *Ok) First() {
+	o.a.Lock()
+	defer o.a.Unlock()
+	o.b.Lock()
+	o.n++
+	o.b.Unlock()
+}
+
+func (o *Ok) Second() {
+	o.a.Lock()
+	o.b.Lock()
+	o.n += 2
+	o.b.Unlock()
+	o.a.Unlock()
+}
+
+// RCfg: nested read locks are legal (silent), but re-entering through
+// the write lock is the classic upgrade deadlock.
+type RCfg struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func (c *RCfg) get() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}
+
+func (c *RCfg) Sum() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.get() + 1
+}
+
+func (c *RCfg) Upgrade() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.get() // want `RCfg\.mu re-acquired while already held`
+}
+
+// Forward is one half of the cross-package cycle; lockorder/other
+// holds the locks the other way around.
+func Forward(a *core.A, b *core.B) {
+	a.Mu.Lock()
+	defer a.Mu.Unlock()
+	b.Mu.Lock() // want `lock order cycle: B\.Mu acquired while holding A\.Mu`
+	b.N++
+	b.Mu.Unlock()
+}
+
+// Pinned documents one side of a known, justified cycle: the
+// suppressed BA side stays out of the report, the AB side remains.
+type Pinned struct {
+	a, b sync.Mutex
+	n    int
+}
+
+func (p *Pinned) AB() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock() // want `lock order cycle: Pinned\.b acquired while holding Pinned\.a`
+	p.n++
+	p.b.Unlock()
+}
+
+func (p *Pinned) BA() {
+	p.b.Lock()
+	defer p.b.Unlock()
+	//lint:ignore lockorder init-time path, documented single-threaded
+	p.a.Lock()
+	p.n++
+	p.a.Unlock()
+}

@@ -1,0 +1,15 @@
+// Package other takes core's locks in the reverse order of the
+// lockorder fixture package: the two halves of a cross-package cycle.
+package other
+
+import "lockorder/core"
+
+// Backward holds B.Mu while acquiring A.Mu — lockorder.Forward does
+// the opposite, so both sides report in their own package.
+func Backward(a *core.A, b *core.B) {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	a.Mu.Lock() // want `lock order cycle: A\.Mu acquired while holding B\.Mu`
+	a.N++
+	a.Mu.Unlock()
+}

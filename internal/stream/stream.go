@@ -412,7 +412,7 @@ func (e *Engine) eachShard(ctx context.Context, op func(*shard)) error {
 			wg.Done()
 		}
 	}
-	//lint:ignore ctxflow the barrier must not abandon submitted ops: each op was accepted under ctx, the shards always drain, so Wait is bounded by queued work
+	//lint:ignore ctxflow,blockhold the barrier must not abandon submitted ops: each op was accepted under ctx, the shards drain without taking Engine.mu, so Wait is bounded by queued work and the held read lock only fences off Close
 	wg.Wait()
 	return errors.Join(errs...)
 }
